@@ -1,0 +1,55 @@
+// Command memegen synthesises a multi-community meme corpus and writes it to
+// disk for later pipeline runs.
+//
+// Usage:
+//
+//	memegen -out ./corpus [-profile paper|small] [-seed 42] [-memes 200]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/memes-pipeline/memes/internal/dataset"
+)
+
+func main() {
+	out := flag.String("out", "corpus", "output directory")
+	profile := flag.String("profile", "paper", "dataset profile: paper or small")
+	seed := flag.Int64("seed", 0, "override the generation seed (0 keeps the profile default)")
+	memesCount := flag.Int("memes", 0, "override the number of planted memes (0 keeps the profile default)")
+	flag.Parse()
+
+	var cfg dataset.Config
+	switch *profile {
+	case "paper":
+		cfg = dataset.DefaultConfig()
+	case "small":
+		cfg = dataset.SmallConfig()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown profile %q (want paper or small)\n", *profile)
+		os.Exit(2)
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *memesCount > 0 {
+		cfg.NumMemes = *memesCount
+	}
+
+	ds, err := dataset.Generate(cfg)
+	if err != nil {
+		log.Fatalf("generating dataset: %v", err)
+	}
+	if err := ds.Save(*out); err != nil {
+		log.Fatalf("saving dataset: %v", err)
+	}
+	fmt.Printf("wrote %d posts, %d memes, %d KYM entries to %s\n",
+		len(ds.Posts), len(ds.Memes), len(ds.KYMEntries), *out)
+	for _, s := range ds.PlatformStats() {
+		fmt.Printf("  %-8s posts=%d images=%d unique pHashes=%d\n",
+			s.Platform, s.Posts, s.Images, s.UniquePHashes)
+	}
+}

@@ -1,0 +1,75 @@
+// Command memepipeline runs the processing pipeline (Steps 1-6) over a
+// corpus written by memegen and prints the clustering and association
+// summary.
+//
+// Usage:
+//
+//	memepipeline -in ./corpus [-eps 8] [-theta 8] [-graph graph.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/memes-pipeline/memes/internal/analysis"
+	"github.com/memes-pipeline/memes/internal/dataset"
+	"github.com/memes-pipeline/memes/internal/distance"
+	"github.com/memes-pipeline/memes/internal/pipeline"
+)
+
+func main() {
+	in := flag.String("in", "corpus", "input corpus directory (written by memegen)")
+	eps := flag.Int("eps", 8, "DBSCAN clustering threshold")
+	theta := flag.Int("theta", 8, "annotation/association Hamming threshold")
+	graphOut := flag.String("graph", "", "optional path to write the Figure 7 cluster graph as JSON")
+	flag.Parse()
+
+	ds, err := dataset.Load(*in)
+	if err != nil {
+		log.Fatalf("loading corpus: %v", err)
+	}
+	site, err := ds.Site(true)
+	if err != nil {
+		log.Fatalf("building annotation site: %v", err)
+	}
+	cfg := pipeline.DefaultConfig()
+	cfg.Clustering.Eps = *eps
+	cfg.AnnotationThreshold = *theta
+	cfg.AssociationThreshold = *theta
+
+	res, err := pipeline.Run(ds, site, cfg)
+	if err != nil {
+		log.Fatalf("running pipeline: %v", err)
+	}
+
+	fmt.Println("Clustering (Table 2):")
+	for _, row := range analysis.ClusteringStats(res) {
+		fmt.Printf("  %-12s images=%-7d noise=%.0f%% clusters=%-5d annotated=%d (%.0f%%)\n",
+			row.Community, row.Images, row.NoisePercent, row.Clusters, row.Annotated, row.AnnotatedPerc)
+	}
+	fmt.Printf("Associations (Step 6): %d posts matched to annotated clusters\n", len(res.Associations))
+	for _, row := range analysis.EventCounts(res) {
+		fmt.Printf("  %-12s %d\n", row.Community, row.Events)
+	}
+
+	if *graphOut != "" {
+		metric, err := distance.New()
+		if err != nil {
+			log.Fatalf("building metric: %v", err)
+		}
+		g, err := analysis.BuildClusterGraph(res, metric, analysis.DefaultClusterGraphConfig())
+		if err != nil {
+			log.Fatalf("building cluster graph: %v", err)
+		}
+		data, err := g.JSON()
+		if err != nil {
+			log.Fatalf("encoding graph: %v", err)
+		}
+		if err := os.WriteFile(*graphOut, data, 0o644); err != nil {
+			log.Fatalf("writing graph: %v", err)
+		}
+		fmt.Printf("wrote cluster graph (%d nodes, %d edges) to %s\n", len(g.Nodes), len(g.Edges), *graphOut)
+	}
+}

@@ -1,0 +1,70 @@
+// Command memereport regenerates every table and figure of the paper's
+// evaluation from a corpus: it generates (or loads) a dataset, runs the
+// pipeline, and prints the full report.
+//
+// Usage:
+//
+//	memereport [-in ./corpus] [-profile paper|small] [-out report.txt]
+//
+// When -in is given the corpus is loaded from disk; otherwise one is
+// generated in memory with the selected profile.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/memes-pipeline/memes/internal/analysis"
+	"github.com/memes-pipeline/memes/internal/dataset"
+	"github.com/memes-pipeline/memes/internal/pipeline"
+)
+
+func main() {
+	in := flag.String("in", "", "corpus directory written by memegen (empty: generate in memory)")
+	profile := flag.String("profile", "paper", "dataset profile when generating: paper or small")
+	out := flag.String("out", "", "write the report to this file instead of stdout")
+	flag.Parse()
+
+	var (
+		ds  *dataset.Dataset
+		err error
+	)
+	if *in != "" {
+		ds, err = dataset.Load(*in)
+	} else {
+		cfg := dataset.DefaultConfig()
+		if *profile == "small" {
+			cfg = dataset.SmallConfig()
+		}
+		ds, err = dataset.Generate(cfg)
+	}
+	if err != nil {
+		log.Fatalf("obtaining corpus: %v", err)
+	}
+	site, err := ds.Site(true)
+	if err != nil {
+		log.Fatalf("building annotation site: %v", err)
+	}
+	res, err := pipeline.Run(ds, site, pipeline.DefaultConfig())
+	if err != nil {
+		log.Fatalf("running pipeline: %v", err)
+	}
+	rep, err := analysis.NewReport(res)
+	if err != nil {
+		log.Fatalf("building report: %v", err)
+	}
+	text, err := rep.RenderAll()
+	if err != nil {
+		log.Fatalf("rendering report: %v", err)
+	}
+	if *out == "" {
+		fmt.Print(text)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+		log.Fatalf("writing report: %v", err)
+	}
+	fmt.Printf("wrote report to %s\n", *out)
+}

@@ -1,0 +1,50 @@
+// Quickstart: generate a small corpus, run the full pipeline, and print the
+// headline numbers — clusters per fringe community, the most popular memes,
+// and which community drives the meme ecosystem.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/memes-pipeline/memes"
+)
+
+func main() {
+	// 1. Build a small synthetic corpus (posts from /pol/, Reddit, Twitter,
+	//    Gab, and The Donald, plus a KYM-style annotation site).
+	ds, err := memes.GenerateDataset(memes.SmallDatasetConfig())
+	if err != nil {
+		log.Fatalf("generating dataset: %v", err)
+	}
+	fmt.Printf("corpus: %d posts, %d planted memes, %d KYM entries\n",
+		len(ds.Posts), len(ds.Memes), len(ds.KYMEntries))
+
+	// 2. Build the annotation site with screenshots already filtered
+	//    (Step 4) and run the pipeline (Steps 1-6).
+	site, err := ds.Site(true)
+	if err != nil {
+		log.Fatalf("building annotation site: %v", err)
+	}
+	res, err := memes.Run(ds, site, memes.DefaultPipelineConfig())
+	if err != nil {
+		log.Fatalf("running pipeline: %v", err)
+	}
+
+	// 3. Inspect the clustering per fringe community.
+	for comm, summary := range res.PerCommunity {
+		fmt.Printf("%-12s %5d images -> %4d clusters (%.0f%% noise, %d annotated)\n",
+			comm, summary.Images, summary.Clusters, summary.NoiseFraction()*100, summary.Annotated)
+	}
+	fmt.Printf("associations: %d posts across all communities matched to memes\n", len(res.Associations))
+
+	// 4. Estimate which community drives the meme ecosystem (Section 5).
+	inf, err := memes.EstimateInfluence(res, memes.AllMemes)
+	if err != nil {
+		log.Fatalf("estimating influence: %v", err)
+	}
+	fmt.Println("normalized external influence (per meme posted):")
+	for i, name := range inf.Communities {
+		fmt.Printf("  %-12s events=%-6d external=%.2f%%\n", name, inf.Events[i], inf.TotalExternal[i]*100)
+	}
+}

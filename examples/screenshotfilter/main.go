@@ -1,0 +1,52 @@
+// Screenshotfilter: train the Step 4 screenshot classifier on a synthetic
+// corpus, evaluate it (the Figure 19 / Appendix C experiment), and use it to
+// filter a mixed image gallery.
+package main
+
+import (
+	"fmt"
+	"image"
+	"log"
+
+	"github.com/memes-pipeline/memes"
+	"github.com/memes-pipeline/memes/internal/imaging"
+)
+
+func main() {
+	// Train the classifier and report its held-out evaluation.
+	exp, err := memes.TrainScreenshotClassifier()
+	if err != nil {
+		log.Fatalf("training classifier: %v", err)
+	}
+	ev := exp.Evaluation
+	fmt.Printf("screenshot classifier: AUC=%.3f accuracy=%.1f%% precision=%.1f%% recall=%.1f%% F1=%.1f%%\n",
+		ev.AUC, ev.Accuracy*100, ev.Precision*100, ev.Recall*100, ev.F1*100)
+	fmt.Printf("(paper, Appendix C: AUC 0.96, accuracy 91.3%%, precision 94.3%%, recall 93.5%%, F1 93.9%%)\n")
+
+	// Filter a small mixed gallery: five meme images and five screenshots.
+	var gallery []image.Image
+	var truth []bool
+	for i := 0; i < 5; i++ {
+		gallery = append(gallery, imaging.Template(int64(100+i)))
+		truth = append(truth, false)
+	}
+	for i := 0; i < 5; i++ {
+		gallery = append(gallery, imaging.Screenshot(int64(200+i), 128, 200))
+		truth = append(truth, true)
+	}
+	kept, removed := 0, 0
+	correct := 0
+	for i, img := range gallery {
+		isShot := memes.IsScreenshot(exp.Classifier, img)
+		if isShot {
+			removed++
+		} else {
+			kept++
+		}
+		if isShot == truth[i] {
+			correct++
+		}
+	}
+	fmt.Printf("gallery filtering: kept %d images, removed %d screenshots (%d/%d judged correctly)\n",
+		kept, removed, correct, len(gallery))
+}

@@ -1,0 +1,332 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/memes-pipeline/memes/internal/annotate"
+	"github.com/memes-pipeline/memes/internal/dataset"
+	"github.com/memes-pipeline/memes/internal/hawkes"
+	"github.com/memes-pipeline/memes/internal/pipeline"
+	"github.com/memes-pipeline/memes/internal/stats"
+)
+
+// InfluenceConfig controls the Section 5 influence estimation.
+type InfluenceConfig struct {
+	// Omega is the Hawkes kernel decay rate (events per day time scale).
+	Omega float64
+	// MaxIter caps the EM iterations per fit.
+	MaxIter int
+	// MinEventsPerFit is the minimum number of events a meme needs before a
+	// Hawkes model is fitted to it; smaller memes attribute every event to
+	// its own community's background (which is what a fit on so little data
+	// would conclude anyway).
+	MinEventsPerFit int
+}
+
+// DefaultInfluenceConfig mirrors the analysis defaults.
+func DefaultInfluenceConfig() InfluenceConfig {
+	return InfluenceConfig{Omega: 1.0, MaxIter: 60, MinEventsPerFit: 20}
+}
+
+// InfluenceResult bundles the Figure 11/12 matrices for one meme group.
+type InfluenceResult struct {
+	Group MemeGroup
+	// Communities gives the display names in matrix order.
+	Communities []string
+	// Events is Table 7 restricted to the group: meme posting events per
+	// community.
+	Events []int
+	// Raw is Figure 11: Raw[src][dst] is the fraction of destination events
+	// attributed to the source community (columns sum to 1).
+	Raw [][]float64
+	// Normalized is Figure 12: influence divided by the source community's
+	// event count.
+	Normalized [][]float64
+	// TotalExternal is the "Total Ext" column: normalized influence summed
+	// over all destinations other than the source itself.
+	TotalExternal []float64
+	// Total is the "Total" column (external plus self).
+	Total []float64
+}
+
+// memeKey groups associations that belong to the same meme: the paper fits
+// one Hawkes model per meme cluster, and the closest equivalent here is the
+// representative KYM entry of the matched cluster (clusters of the same meme
+// found on different fringe communities share it).
+func memeKey(res *pipeline.Result, a pipeline.Association) string {
+	return res.Clusters[a.ClusterID].EntryName()
+}
+
+// eventsByMeme converts the Step 6 associations of one meme group into
+// per-meme Hawkes event series (time in days since the window start).
+func eventsByMeme(res *pipeline.Result, group MemeGroup) map[string][]hawkes.Event {
+	out := map[string][]hawkes.Event{}
+	for _, a := range res.Associations {
+		c := &res.Clusters[a.ClusterID]
+		if !inGroup(c, group) {
+			continue
+		}
+		p := res.Dataset.Posts[a.PostIndex]
+		t := p.Timestamp.Sub(res.Dataset.Start).Hours() / 24
+		key := memeKey(res, a)
+		out[key] = append(out[key], hawkes.Event{Time: t, Process: int(p.Community)})
+	}
+	return out
+}
+
+// fitGroup fits one Hawkes model per meme (as the paper does for each of its
+// 12.6K clusters), attributes every event to a root-cause community, and
+// aggregates the per-meme attributions into the group's influence matrices
+// and the per-event attribution samples used for KS testing.
+func fitGroup(res *pipeline.Result, group MemeGroup, cfg InfluenceConfig) (*InfluenceResult, *groupAttribution, error) {
+	if cfg.Omega <= 0 || cfg.MaxIter <= 0 {
+		return nil, nil, errors.New("analysis: invalid influence configuration")
+	}
+	byMeme := eventsByMeme(res, group)
+	if len(byMeme) == 0 {
+		return nil, nil, fmt.Errorf("analysis: no events for meme group %v", group)
+	}
+	horizon := res.Dataset.End.Sub(res.Dataset.Start).Hours()/24 + 1
+	k := dataset.NumCommunities
+
+	agg := newGroupAttribution(k)
+	for _, events := range byMeme {
+		if len(events) < cfg.MinEventsPerFit {
+			// Too little data to infer cross-community excitation: each event
+			// is credited to its own community's background.
+			for _, e := range events {
+				agg.add(e.Process, e.Process, 1)
+				agg.addSample(e.Process, e.Process, 1)
+				for src := 0; src < k; src++ {
+					if src != e.Process {
+						agg.addSample(src, e.Process, 0)
+					}
+				}
+				agg.destTotals[e.Process]++
+				agg.srcTotals[e.Process]++
+			}
+			continue
+		}
+		fitCfg := hawkes.DefaultFitConfig(k, horizon)
+		fitCfg.Omega = cfg.Omega
+		fitCfg.MaxIter = cfg.MaxIter
+		fit, err := hawkes.Fit(events, fitCfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("analysis: fitting %v events: %w", group, err)
+		}
+		att, err := hawkes.Attribute(fit)
+		if err != nil {
+			return nil, nil, fmt.Errorf("analysis: attributing %v events: %w", group, err)
+		}
+		for j, e := range att.Events {
+			agg.destTotals[e.Process]++
+			agg.srcTotals[e.Process]++
+			for src := 0; src < k; src++ {
+				agg.add(src, e.Process, att.RootCause[j][src])
+				agg.addSample(src, e.Process, att.RootCause[j][src])
+			}
+		}
+	}
+
+	names := make([]string, k)
+	for i, c := range dataset.Communities() {
+		names[i] = c.String()
+	}
+	summary := &InfluenceResult{
+		Group:         group,
+		Communities:   names,
+		Events:        agg.eventCounts(),
+		Raw:           agg.rawMatrix(),
+		Normalized:    agg.normalizedMatrix(),
+		TotalExternal: agg.externalInfluence(),
+		Total:         agg.totalInfluence(),
+	}
+	return summary, agg, nil
+}
+
+// groupAttribution accumulates attribution mass across per-meme fits.
+type groupAttribution struct {
+	k          int
+	attributed [][]float64 // [src][dst] expected events on dst rooted in src
+	destTotals []float64
+	srcTotals  []float64
+	// samples[src][dst] holds the per-event attribution masses, used by the
+	// KS comparisons of Figures 13-16.
+	samples [][][]float64
+}
+
+func newGroupAttribution(k int) *groupAttribution {
+	g := &groupAttribution{
+		k:          k,
+		attributed: make([][]float64, k),
+		destTotals: make([]float64, k),
+		srcTotals:  make([]float64, k),
+		samples:    make([][][]float64, k),
+	}
+	for i := 0; i < k; i++ {
+		g.attributed[i] = make([]float64, k)
+		g.samples[i] = make([][]float64, k)
+	}
+	return g
+}
+
+func (g *groupAttribution) add(src, dst int, mass float64) {
+	g.attributed[src][dst] += mass
+}
+
+func (g *groupAttribution) addSample(src, dst int, mass float64) {
+	g.samples[src][dst] = append(g.samples[src][dst], mass)
+}
+
+func (g *groupAttribution) eventCounts() []int {
+	out := make([]int, g.k)
+	for i, v := range g.destTotals {
+		out[i] = int(v + 0.5)
+	}
+	return out
+}
+
+func (g *groupAttribution) rawMatrix() [][]float64 {
+	out := make([][]float64, g.k)
+	for src := 0; src < g.k; src++ {
+		out[src] = make([]float64, g.k)
+		for dst := 0; dst < g.k; dst++ {
+			if g.destTotals[dst] > 0 {
+				out[src][dst] = g.attributed[src][dst] / g.destTotals[dst]
+			}
+		}
+	}
+	return out
+}
+
+func (g *groupAttribution) normalizedMatrix() [][]float64 {
+	out := make([][]float64, g.k)
+	for src := 0; src < g.k; src++ {
+		out[src] = make([]float64, g.k)
+		for dst := 0; dst < g.k; dst++ {
+			if g.srcTotals[src] > 0 {
+				out[src][dst] = g.attributed[src][dst] / g.srcTotals[src]
+			}
+		}
+	}
+	return out
+}
+
+func (g *groupAttribution) externalInfluence() []float64 {
+	norm := g.normalizedMatrix()
+	out := make([]float64, g.k)
+	for src := 0; src < g.k; src++ {
+		for dst := 0; dst < g.k; dst++ {
+			if dst != src {
+				out[src] += norm[src][dst]
+			}
+		}
+	}
+	return out
+}
+
+func (g *groupAttribution) totalInfluence() []float64 {
+	norm := g.normalizedMatrix()
+	out := make([]float64, g.k)
+	for src := 0; src < g.k; src++ {
+		for dst := 0; dst < g.k; dst++ {
+			out[src] += norm[src][dst]
+		}
+	}
+	return out
+}
+
+// EstimateInfluence fits per-meme Hawkes models to the posting events of the
+// given meme group and aggregates them into the raw and normalized influence
+// matrices (Figures 11 and 12).
+func EstimateInfluence(res *pipeline.Result, group MemeGroup, cfg InfluenceConfig) (*InfluenceResult, error) {
+	summary, _, err := fitGroup(res, group, cfg)
+	return summary, err
+}
+
+// GroupComparison holds the Figures 13-16 content: influence matrices for a
+// meme group and its complement, plus per-cell KS significance of the
+// difference in attribution distributions.
+type GroupComparison struct {
+	Group      *InfluenceResult
+	Complement *InfluenceResult
+	// Significant[src][dst] reports whether the difference between the group
+	// and its complement in the per-event probability mass attributed to src
+	// on destination dst is statistically significant (two-sample KS test,
+	// p < 0.01), matching the asterisks of Figures 13-16.
+	Significant [][]bool
+}
+
+// CompareGroups computes the racist-vs-non-racist (Figures 13 and 15) or
+// political-vs-non-political (Figures 14 and 16) comparison.
+func CompareGroups(res *pipeline.Result, group, complement MemeGroup, cfg InfluenceConfig) (*GroupComparison, error) {
+	g, gAtt, err := fitGroup(res, group, cfg)
+	if err != nil {
+		return nil, err
+	}
+	c, cAtt, err := fitGroup(res, complement, cfg)
+	if err != nil {
+		return nil, err
+	}
+	k := len(g.Communities)
+	sig := make([][]bool, k)
+	for src := 0; src < k; src++ {
+		sig[src] = make([]bool, k)
+		for dst := 0; dst < k; dst++ {
+			a := gAtt.samples[src][dst]
+			b := cAtt.samples[src][dst]
+			if len(a) < 5 || len(b) < 5 {
+				continue
+			}
+			ks, err := stats.KSTest(a, b)
+			if err != nil {
+				continue
+			}
+			sig[src][dst] = ks.Significant
+		}
+	}
+	return &GroupComparison{Group: g, Complement: c, Significant: sig}, nil
+}
+
+// AttributionToy reproduces the mechanics of Figure 10 on a three-process
+// toy model: process B excites A and C, and the attribution should credit B
+// as the dominant external root cause of both.
+type AttributionToy struct {
+	Raw        [][]float64
+	Normalized [][]float64
+	Events     []int
+}
+
+// RunAttributionToy simulates and fits the Figure 10 toy scenario.
+func RunAttributionToy(seed int64) (*AttributionToy, error) {
+	m := hawkes.NewModel(3, 1.0)
+	m.Mu[0], m.Mu[1], m.Mu[2] = 0.02, 0.5, 0.02
+	m.W[1][0] = 0.4
+	m.W[1][2] = 0.4
+	rng := rand.New(rand.NewSource(seed))
+	events, err := m.Simulate(rng, 600)
+	if err != nil {
+		return nil, err
+	}
+	fit, err := hawkes.Fit(events, hawkes.DefaultFitConfig(3, 600))
+	if err != nil {
+		return nil, err
+	}
+	att, err := hawkes.Attribute(fit)
+	if err != nil {
+		return nil, err
+	}
+	return &AttributionToy{
+		Raw:        att.InfluenceMatrix(),
+		Normalized: att.NormalizedInfluenceMatrix(),
+		Events:     hawkes.CountByProcess(fit.Events, 3),
+	}, nil
+}
+
+// AnnotationQuality reproduces Appendix B using the simulated annotator
+// panel calibrated to the paper's kappa and accuracy.
+func AnnotationQuality() (annotate.PanelResult, error) {
+	return annotate.RunPanel(annotate.DefaultPanelConfig())
+}

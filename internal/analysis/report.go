@@ -1,0 +1,502 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"github.com/memes-pipeline/memes/internal/distance"
+	"github.com/memes-pipeline/memes/internal/pipeline"
+	"github.com/memes-pipeline/memes/internal/screenshot"
+)
+
+// Report regenerates every table and figure of the paper from a pipeline
+// result and renders them as text. It is the engine behind cmd/memereport
+// and the benchmark harness.
+type Report struct {
+	res    *pipeline.Result
+	metric *distance.Metric
+	infCfg InfluenceConfig
+}
+
+// NewReport builds a report generator over a pipeline result.
+func NewReport(res *pipeline.Result) (*Report, error) {
+	metric, err := distance.New()
+	if err != nil {
+		return nil, err
+	}
+	return &Report{res: res, metric: metric, infCfg: DefaultInfluenceConfig()}, nil
+}
+
+// Result exposes the underlying pipeline result.
+func (r *Report) Result() *pipeline.Result { return r.res }
+
+// Metric exposes the distance metric used for Figures 6 and 7.
+func (r *Report) Metric() *distance.Metric { return r.metric }
+
+// RenderAll produces the full paper report: every table and figure in order.
+func (r *Report) RenderAll() (string, error) {
+	var b strings.Builder
+	sections := []struct {
+		title  string
+		render func() (string, error)
+	}{
+		{"Table 1: dataset overview", r.RenderTable1},
+		{"Table 2: clustering statistics", r.RenderTable2},
+		{"Table 3: top KYM entries per fringe community (by clusters)", r.RenderTable3},
+		{"Table 4: top meme entries per community (by posts)", r.RenderTable4},
+		{"Table 5: top people entries per community (by posts)", r.RenderTable5},
+		{"Table 6: top subreddits (all / racist / politics)", r.RenderTable6},
+		{"Table 7: Hawkes events per community", r.RenderTable7},
+		{"Table 8: clustering threshold sweep", r.RenderTable8},
+		{"Table 9: screenshot classifier training corpus", r.RenderTable9},
+		{"Figure 3: perceptual similarity decay", r.RenderFigure3},
+		{"Figure 4: KYM dataset statistics", r.RenderFigure4},
+		{"Figure 5: annotation CDFs", r.RenderFigure5},
+		{"Figure 6: frog meme dendrogram", r.RenderFigure6},
+		{"Figure 7: cluster graph", r.RenderFigure7},
+		{"Figure 8: temporal meme activity", r.RenderFigure8},
+		{"Figure 9: post score CDFs", r.RenderFigure9},
+		{"Figure 10: attribution toy example", r.RenderFigure10},
+		{"Figures 11-12: influence matrices (all memes)", r.RenderInfluenceAll},
+		{"Figures 13,15: influence, racist vs non-racist", r.RenderInfluenceRacist},
+		{"Figures 14,16: influence, political vs non-political", r.RenderInfluencePolitical},
+		{"Figure 17: per-cluster false positives vs threshold", r.RenderFigure17},
+		{"Figure 19: screenshot classifier ROC", r.RenderFigure19},
+		{"Appendix B: annotation quality", r.RenderAppendixB},
+	}
+	for _, s := range sections {
+		text, err := s.render()
+		if err != nil {
+			return "", fmt.Errorf("rendering %q: %w", s.title, err)
+		}
+		b.WriteString("== " + s.title + " ==\n")
+		b.WriteString(text)
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+func table(render func(w *tabwriter.Writer)) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 0, 4, 2, ' ', 0)
+	render(w)
+	w.Flush()
+	return b.String()
+}
+
+// RenderTable1 renders the dataset overview.
+func (r *Report) RenderTable1() (string, error) {
+	rows := DatasetOverview(r.res.Dataset)
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Platform\t#Posts\t#Posts w/ images\t#Images\t#Unique pHashes")
+		for _, row := range rows {
+			fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\n",
+				row.Platform, row.Posts, row.PostsWithImages, row.Images, row.UniquePHashes)
+		}
+	}), nil
+}
+
+// RenderTable2 renders the clustering statistics.
+func (r *Report) RenderTable2() (string, error) {
+	rows := ClusteringStats(r.res)
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Community\t#Images\tNoise\t#Clusters\t#Annotated (%)")
+		for _, row := range rows {
+			fmt.Fprintf(w, "%s\t%d\t%.0f%%\t%d\t%d (%.0f%%)\n",
+				row.Community, row.Images, row.NoisePercent, row.Clusters,
+				row.Annotated, row.AnnotatedPerc)
+		}
+	}), nil
+}
+
+func renderEntryCounts(byComm map[string][]EntryCount, unit string) string {
+	names := make([]string, 0, len(byComm))
+	for name := range byComm {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return table(func(w *tabwriter.Writer) {
+		for _, name := range names {
+			fmt.Fprintf(w, "%s\tEntry\tCategory\t%s\t%%\tflags\n", name, unit)
+			for _, ec := range byComm[name] {
+				flags := ""
+				if ec.Racist {
+					flags += "(R)"
+				}
+				if ec.Political {
+					flags += "(P)"
+				}
+				fmt.Fprintf(w, "\t%s\t%s\t%d\t%.1f%%\t%s\n", ec.Entry, ec.Category, ec.Count, ec.Percent, flags)
+			}
+		}
+	})
+}
+
+// RenderTable3 renders the top entries by clusters.
+func (r *Report) RenderTable3() (string, error) {
+	return renderEntryCounts(TopEntriesByClusters(r.res, 20), "Clusters"), nil
+}
+
+// RenderTable4 renders the top meme entries by posts.
+func (r *Report) RenderTable4() (string, error) {
+	return renderEntryCounts(TopMemesByPosts(r.res, 20), "Posts"), nil
+}
+
+// RenderTable5 renders the top people entries by posts.
+func (r *Report) RenderTable5() (string, error) {
+	return renderEntryCounts(TopPeopleByPosts(r.res, 15), "Posts"), nil
+}
+
+// RenderTable6 renders the top subreddits.
+func (r *Report) RenderTable6() (string, error) {
+	groups := TopSubreddits(r.res, 10)
+	render := func(title string, rows []SubredditCount) string {
+		return table(func(w *tabwriter.Writer) {
+			fmt.Fprintf(w, "%s\tSubreddit\tPosts\t%%\n", title)
+			for _, row := range rows {
+				fmt.Fprintf(w, "\t%s\t%d\t%.1f%%\n", row.Subreddit, row.Posts, row.Percent)
+			}
+		})
+	}
+	return render("All memes", groups.All) +
+		render("Racism-related", groups.Racist) +
+		render("Politics-related", groups.Politics), nil
+}
+
+// RenderTable7 renders the Hawkes event counts.
+func (r *Report) RenderTable7() (string, error) {
+	rows := EventCounts(r.res)
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Community\tEvents")
+		for _, row := range rows {
+			fmt.Fprintf(w, "%s\t%d\n", row.Community, row.Events)
+		}
+	}), nil
+}
+
+// RenderTable8 renders the clustering sweep.
+func (r *Report) RenderTable8() (string, error) {
+	rows, err := ClusterSweep(r.res.Dataset, []int{2, 4, 6, 8, 10})
+	if err != nil {
+		return "", err
+	}
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Distance\t#Clusters\t%Noise")
+		for _, row := range rows {
+			fmt.Fprintf(w, "%d\t%d\t%.1f%%\n", row.Eps, row.Clusters, row.NoisePercent)
+		}
+	}), nil
+}
+
+// RenderTable9 renders the screenshot training-corpus composition.
+func (r *Report) RenderTable9() (string, error) {
+	rows := ScreenshotDataset(screenshot.PaperCounts())
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Source\t#Images (paper corpus)")
+		for _, row := range rows {
+			fmt.Fprintf(w, "%s\t%d\n", row.Source, row.Images)
+		}
+	}), nil
+}
+
+// RenderFigure3 renders the perceptual decay curves at selected distances.
+func (r *Report) RenderFigure3() (string, error) {
+	series := PerceptualDecay([]float64{1, 25, 64})
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "d\ttau=1\ttau=25\ttau=64")
+		for _, d := range []int{0, 1, 2, 4, 8, 16, 32, 48, 64} {
+			fmt.Fprintf(w, "%d\t%.3f\t%.3f\t%.3f\n", d, series[0].Y[d], series[1].Y[d], series[2].Y[d])
+		}
+	}), nil
+}
+
+// RenderFigure4 renders KYM dataset statistics.
+func (r *Report) RenderFigure4() (string, error) {
+	st, err := ComputeKYMStats(r.res.Site)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString(fmt.Sprintf("entries=%d gallery images=%d\n", st.Entries, st.Images))
+	b.WriteString("categories: " + renderPercentMap(st.CategoryPercent) + "\n")
+	b.WriteString("origins:    " + renderPercentMap(st.OriginPercent) + "\n")
+	b.WriteString(fmt.Sprintf("images-per-entry CDF points: %d (median at %.0f)\n",
+		len(st.ImagesPerEntryCDF.X), seriesMedianX(st.ImagesPerEntryCDF)))
+	return b.String(), nil
+}
+
+func renderPercentMap(m map[string]float64) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return m[keys[i]] > m[keys[j]] })
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s %.1f%%", k, m[k])
+	}
+	return strings.Join(parts, ", ")
+}
+
+func seriesMedianX(s Series) float64 {
+	for i, y := range s.Y {
+		if y >= 0.5 {
+			return s.X[i]
+		}
+	}
+	if len(s.X) > 0 {
+		return s.X[len(s.X)-1]
+	}
+	return 0
+}
+
+// RenderFigure5 renders the annotation CDF summary.
+func (r *Report) RenderFigure5() (string, error) {
+	cdfs, err := ComputeAnnotationCDFs(r.res)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for comm, s := range cdfs.EntriesPerCluster {
+		b.WriteString(fmt.Sprintf("%s: KYM entries per cluster, %d distinct values, P[1 entry]=%.2f\n",
+			comm, len(s.X), firstY(s)))
+	}
+	for comm, s := range cdfs.ClustersPerEntry {
+		b.WriteString(fmt.Sprintf("%s: clusters per KYM entry, %d distinct values, P[1 cluster]=%.2f\n",
+			comm, len(s.X), firstY(s)))
+	}
+	return b.String(), nil
+}
+
+func firstY(s Series) float64 {
+	if len(s.Y) == 0 {
+		return 0
+	}
+	return s.Y[0]
+}
+
+// RenderFigure6 renders the frog-family dendrogram summary.
+func (r *Report) RenderFigure6() (string, error) {
+	dend, err := MemeFamilyDendrogram(r.res, r.metric, []string{"frog", "pepe", "apu"})
+	if err != nil {
+		return "", err
+	}
+	labels := dend.Dendrogram.Cut(0.45)
+	distinct := map[int]bool{}
+	for _, l := range labels {
+		distinct[l] = true
+	}
+	return fmt.Sprintf("frog-family clusters: %d; groups at cut 0.45: %d; leaves: %s ...\n",
+		dend.Dendrogram.NumLeaves(), len(distinct), strings.Join(firstN(dend.Leaves, 8), ", ")), nil
+}
+
+func firstN(s []string, n int) []string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}
+
+// RenderFigure7 renders the cluster graph summary.
+func (r *Report) RenderFigure7() (string, error) {
+	g, err := BuildClusterGraph(r.res, r.metric, DefaultClusterGraphConfig())
+	if err != nil {
+		return "", err
+	}
+	purity := g.ComponentPurity()
+	mean := 0.0
+	for _, p := range purity {
+		mean += p
+	}
+	if len(purity) > 0 {
+		mean /= float64(len(purity))
+	}
+	return fmt.Sprintf("nodes=%d edges=%d components=%d mean component purity=%.2f\n",
+		len(g.Nodes), len(g.Edges), len(g.ConnectedComponents()), mean), nil
+}
+
+// RenderFigure8 renders the temporal activity summary.
+func (r *Report) RenderFigure8() (string, error) {
+	var b strings.Builder
+	for _, group := range []MemeGroup{AllMemes, RacistMemes, PoliticalMemes} {
+		series := TemporalSeries(r.res, group)
+		b.WriteString(group.String() + ":\n")
+		names := make([]string, 0, len(series))
+		for name := range series {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			s := series[name]
+			b.WriteString(fmt.Sprintf("  %s: mean %.3f%% of daily posts contain %s memes\n",
+				name, meanOf(s.Y), group))
+		}
+	}
+	return b.String(), nil
+}
+
+func meanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// RenderFigure9 renders the score CDF summary.
+func (r *Report) RenderFigure9() (string, error) {
+	cdfs, err := ComputeScoreCDFs(r.res)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, platform := range []string{"Reddit", "Gab"} {
+		b.WriteString(platform + " mean scores: ")
+		b.WriteString(renderFloatMap(cdfs.Means[platform]))
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+func renderFloatMap(m map[string]float64) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%.1f", k, m[k])
+	}
+	return strings.Join(parts, " ")
+}
+
+// RenderFigure10 renders the attribution toy example.
+func (r *Report) RenderFigure10() (string, error) {
+	toy, err := RunAttributionToy(7)
+	if err != nil {
+		return "", err
+	}
+	return renderMatrix([]string{"A", "B", "C"}, toy.Raw, nil), nil
+}
+
+// RenderInfluenceAll renders Figures 11 and 12.
+func (r *Report) RenderInfluenceAll() (string, error) {
+	inf, err := EstimateInfluence(r.res, AllMemes, r.infCfg)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Raw influence (% of destination events caused by source):\n")
+	b.WriteString(renderMatrix(inf.Communities, inf.Raw, nil))
+	b.WriteString("Normalized influence (per source event):\n")
+	b.WriteString(renderMatrix(inf.Communities, inf.Normalized, inf.TotalExternal))
+	return b.String(), nil
+}
+
+// RenderInfluenceRacist renders Figures 13 and 15.
+func (r *Report) RenderInfluenceRacist() (string, error) {
+	return r.renderComparison(RacistMemes, NonRacistMemes)
+}
+
+// RenderInfluencePolitical renders Figures 14 and 16.
+func (r *Report) RenderInfluencePolitical() (string, error) {
+	return r.renderComparison(PoliticalMemes, NonPoliticalMemes)
+}
+
+func (r *Report) renderComparison(group, complement MemeGroup) (string, error) {
+	cmp, err := CompareGroups(r.res, group, complement, r.infCfg)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString(fmt.Sprintf("%s raw influence:\n", group))
+	b.WriteString(renderMatrix(cmp.Group.Communities, cmp.Group.Raw, nil))
+	b.WriteString(fmt.Sprintf("%s raw influence:\n", complement))
+	b.WriteString(renderMatrix(cmp.Complement.Communities, cmp.Complement.Raw, nil))
+	b.WriteString(fmt.Sprintf("%s normalized external: %s\n", group, renderVector(cmp.Group.TotalExternal)))
+	b.WriteString(fmt.Sprintf("%s normalized external: %s\n", complement, renderVector(cmp.Complement.TotalExternal)))
+	sig := 0
+	for _, row := range cmp.Significant {
+		for _, s := range row {
+			if s {
+				sig++
+			}
+		}
+	}
+	b.WriteString(fmt.Sprintf("significant cells (KS p<0.01): %d\n", sig))
+	return b.String(), nil
+}
+
+func renderMatrix(names []string, m [][]float64, totalExt []float64) string {
+	return table(func(w *tabwriter.Writer) {
+		header := "src\\dst"
+		for _, n := range names {
+			header += "\t" + n
+		}
+		if totalExt != nil {
+			header += "\tTotal Ext"
+		}
+		fmt.Fprintln(w, header)
+		for i, row := range m {
+			line := names[i]
+			for _, v := range row {
+				line += fmt.Sprintf("\t%.2f%%", v*100)
+			}
+			if totalExt != nil {
+				line += fmt.Sprintf("\t%.2f%%", totalExt[i]*100)
+			}
+			fmt.Fprintln(w, line)
+		}
+	})
+}
+
+func renderVector(v []float64) string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprintf("%.2f%%", x*100)
+	}
+	return strings.Join(parts, " ")
+}
+
+// RenderFigure17 renders the false-positive sweep.
+func (r *Report) RenderFigure17() (string, error) {
+	rows, err := ClusterFalsePositives(r.res.Dataset, []int{6, 8, 10})
+	if err != nil {
+		return "", err
+	}
+	return table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "Distance\tMean FP fraction")
+		for _, row := range rows {
+			fmt.Fprintf(w, "%d\t%.3f\n", row.Eps, row.MeanFraction)
+		}
+	}), nil
+}
+
+// RenderFigure19 renders the screenshot classifier evaluation. The corpus is
+// a scaled-down version of the paper's so the report renders in seconds.
+func (r *Report) RenderFigure19() (string, error) {
+	res, err := screenshot.RunExperiment(screenshot.DefaultCorpusConfig(), screenshot.DefaultTrainConfig())
+	if err != nil {
+		return "", err
+	}
+	ev := res.Evaluation
+	return fmt.Sprintf("AUC=%.3f accuracy=%.3f precision=%.3f recall=%.3f F1=%.3f (train=%d test=%d)\n",
+		ev.AUC, ev.Accuracy, ev.Precision, ev.Recall, ev.F1, res.TrainSize, res.TestSize), nil
+}
+
+// RenderAppendixB renders the annotation-quality evaluation.
+func (r *Report) RenderAppendixB() (string, error) {
+	res, err := AnnotationQuality()
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("Fleiss kappa=%.2f majority accuracy=%.0f%% bad KYM entries=%.2f%% (subjects=%d entries=%d)\n",
+		res.Kappa, res.MajorityAccuracy*100, res.BadEntryFraction*100,
+		res.SubjectsAssessed, res.EntriesAssessed), nil
+}

@@ -1,0 +1,239 @@
+// Package cluster provides the clustering machinery used by the pipeline:
+// DBSCAN over perceptual-hash Hamming distance (Steps 2-3 of the paper's
+// pipeline), cluster medoid computation (Step 5), and average-linkage
+// agglomerative clustering used to build the dendrograms of Section 4.1.2.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/memes-pipeline/memes/internal/phash"
+)
+
+// Noise is the label assigned to points that do not belong to any cluster.
+const Noise = -1
+
+// DBSCANConfig holds the parameters of the density-based clustering step.
+// The paper uses Eps = 8 and MinPts = 5 (Appendix A).
+type DBSCANConfig struct {
+	// Eps is the maximum Hamming distance between two hashes for one to be
+	// considered in the neighbourhood of the other.
+	Eps int
+	// MinPts is the minimum neighbourhood size (including the point itself)
+	// for a point to be a core point.
+	MinPts int
+}
+
+// DefaultDBSCANConfig returns the configuration used in the paper.
+func DefaultDBSCANConfig() DBSCANConfig {
+	return DBSCANConfig{Eps: 8, MinPts: 5}
+}
+
+// Validate reports whether the configuration is usable.
+func (c DBSCANConfig) Validate() error {
+	if c.Eps < 0 || c.Eps > phash.MaxDistance {
+		return fmt.Errorf("cluster: eps %d out of range [0, %d]", c.Eps, phash.MaxDistance)
+	}
+	if c.MinPts < 1 {
+		return fmt.Errorf("cluster: minPts %d must be at least 1", c.MinPts)
+	}
+	return nil
+}
+
+// Result is the outcome of a DBSCAN run.
+type Result struct {
+	// Labels has one entry per input hash: the cluster index in
+	// [0, NumClusters) or Noise.
+	Labels []int
+	// NumClusters is the number of clusters found.
+	NumClusters int
+	// NoiseCount is the number of points labelled Noise.
+	NoiseCount int
+}
+
+// NoiseFraction returns the fraction of input points labelled as noise.
+func (r Result) NoiseFraction() float64 {
+	if len(r.Labels) == 0 {
+		return 0
+	}
+	return float64(r.NoiseCount) / float64(len(r.Labels))
+}
+
+// Members returns, for each cluster, the indexes of its member points,
+// ordered by cluster label and then by index.
+func (r Result) Members() [][]int {
+	members := make([][]int, r.NumClusters)
+	for i, lbl := range r.Labels {
+		if lbl == Noise {
+			continue
+		}
+		members[lbl] = append(members[lbl], i)
+	}
+	return members
+}
+
+// DBSCAN clusters the distinct perceptual hashes using density-based
+// clustering with the Hamming distance. The counts slice gives the number of
+// occurrences of each hash (distinct hashes are the points, but density is
+// measured in occurrences, mirroring the paper's treatment of duplicate
+// images); pass nil to weight every hash equally.
+//
+// The neighbourhood queries run against a multi-index built over the hashes,
+// which replaces the paper's GPU pairwise comparison step with identical
+// results.
+func DBSCAN(hashes []phash.Hash, counts []int, cfg DBSCANConfig) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	n := len(hashes)
+	res := Result{Labels: make([]int, n)}
+	if n == 0 {
+		return res, nil
+	}
+	if counts != nil && len(counts) != n {
+		return Result{}, fmt.Errorf("cluster: counts length %d does not match hashes length %d", len(counts), n)
+	}
+	weight := func(i int) int {
+		if counts == nil {
+			return 1
+		}
+		return counts[i]
+	}
+
+	index := phash.NewMultiIndex()
+	for i, h := range hashes {
+		index.Insert(h, int64(i))
+	}
+
+	const (
+		unvisited = -2
+	)
+	labels := res.Labels
+	for i := range labels {
+		labels[i] = unvisited
+	}
+
+	// neighbours returns the indexes within eps of point i (including i) and
+	// the total occurrence weight of that neighbourhood.
+	neighbours := func(i int) ([]int, int) {
+		matches := index.Radius(hashes[i], cfg.Eps)
+		var idxs []int
+		total := 0
+		for _, m := range matches {
+			for _, id := range m.IDs {
+				idxs = append(idxs, int(id))
+				total += weight(int(id))
+			}
+		}
+		return idxs, total
+	}
+
+	clusterID := 0
+	for i := 0; i < n; i++ {
+		if labels[i] != unvisited {
+			continue
+		}
+		neigh, total := neighbours(i)
+		if total < cfg.MinPts {
+			labels[i] = Noise
+			continue
+		}
+		// Start a new cluster and expand it breadth-first.
+		labels[i] = clusterID
+		queue := append([]int(nil), neigh...)
+		for qi := 0; qi < len(queue); qi++ {
+			j := queue[qi]
+			if labels[j] == Noise {
+				labels[j] = clusterID // border point
+			}
+			if labels[j] != unvisited {
+				continue
+			}
+			labels[j] = clusterID
+			jNeigh, jTotal := neighbours(j)
+			if jTotal >= cfg.MinPts {
+				queue = append(queue, jNeigh...)
+			}
+		}
+		clusterID++
+	}
+
+	res.NumClusters = clusterID
+	for _, lbl := range labels {
+		if lbl == Noise {
+			res.NoiseCount++
+		}
+	}
+	return res, nil
+}
+
+// Medoid returns the index (into members) of the medoid of a cluster: the
+// member with the minimum sum of squared Hamming distances to all other
+// members, which is the definition used for cluster annotation in Step 5.
+// Ties are broken by the lowest index for determinism. The second return
+// value is false when members is empty.
+func Medoid(hashes []phash.Hash, members []int) (int, bool) {
+	if len(members) == 0 {
+		return 0, false
+	}
+	if len(members) == 1 {
+		return members[0], true
+	}
+	bestIdx := members[0]
+	bestCost := int64(1) << 62
+	for _, i := range members {
+		var cost int64
+		for _, j := range members {
+			d := int64(phash.Distance(hashes[i], hashes[j]))
+			cost += d * d
+		}
+		if cost < bestCost || (cost == bestCost && i < bestIdx) {
+			bestCost = cost
+			bestIdx = i
+		}
+	}
+	return bestIdx, true
+}
+
+// Cluster is a materialised cluster: its label, member indexes, medoid index
+// and medoid hash. Produced by Materialize.
+type Cluster struct {
+	Label      int
+	Members    []int
+	Medoid     int
+	MedoidHash phash.Hash
+	// Size is the total occurrence weight of the cluster (sum of counts of
+	// its member hashes).
+	Size int
+}
+
+// Materialize converts a DBSCAN result into a slice of Cluster values with
+// medoids computed, ordered by label. counts may be nil (unit weights).
+func Materialize(hashes []phash.Hash, counts []int, res Result) []Cluster {
+	members := res.Members()
+	out := make([]Cluster, 0, len(members))
+	for label, m := range members {
+		if len(m) == 0 {
+			continue
+		}
+		sort.Ints(m)
+		medoid, _ := Medoid(hashes, m)
+		size := 0
+		for _, i := range m {
+			if counts == nil {
+				size++
+			} else {
+				size += counts[i]
+			}
+		}
+		out = append(out, Cluster{
+			Label:      label,
+			Members:    m,
+			Medoid:     medoid,
+			MedoidHash: hashes[medoid],
+			Size:       size,
+		})
+	}
+	return out
+}

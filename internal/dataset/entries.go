@@ -1,0 +1,163 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/memes-pipeline/memes/internal/annotate"
+)
+
+// entryPlan is the intermediate assignment of planted memes to KYM entries.
+type entryPlan struct {
+	records     []KYMEntry
+	ownerOfMeme []int // meme index -> entry index
+	isRacist    []bool
+	isPolitical []bool
+}
+
+// planEntries decides which KYM entries exist, their categories, tags, and
+// origins, and distributes the planted memes among them with a skewed
+// memes-per-entry distribution (many entries own one meme, a few own many,
+// mirroring Figure 5(b)).
+func planEntries(rng *rand.Rand, cfg Config) *entryPlan {
+	plan := &entryPlan{ownerOfMeme: make([]int, cfg.NumMemes)}
+
+	// Decide how many memes are racist / political.
+	racistCount := int(float64(cfg.NumMemes)*cfg.RacistFraction + 0.5)
+	politicalCount := int(float64(cfg.NumMemes)*cfg.PoliticalFraction + 0.5)
+
+	addEntry := func(name, title, category string, tags []string, racist, political bool) int {
+		idx := len(plan.records)
+		plan.records = append(plan.records, KYMEntry{
+			Name:     name,
+			Title:    title,
+			Category: category,
+			Tags:     tags,
+			Origin:   sampleOrigin(rng),
+			Year:     2008 + rng.Intn(9),
+		})
+		plan.isRacist = append(plan.isRacist, racist)
+		plan.isPolitical = append(plan.isPolitical, political)
+		return idx
+	}
+
+	// Seed well-known entries: people, events, and named memes.
+	for _, name := range peopleEntryNames {
+		addEntry(name, name, string(annotate.CategoryPeople),
+			[]string{"politics"}, false, true)
+	}
+	for _, name := range eventEntryNames {
+		addEntry(name, name, string(annotate.CategoryEvent),
+			[]string{"politics", "2016 us presidential election"}, false, true)
+	}
+	for _, name := range memeEntryNames {
+		addEntry(name, name, string(annotate.CategoryMeme), nil, false, false)
+	}
+
+	// Mark some of the named meme entries as racist / political so the tag
+	// groups are populated deterministically regardless of the meme count.
+	racistSeeds := []string{"happy-merchant", "cult-of-kek"}
+	politicalSeeds := []string{"make-america-great-again", "counter-signal-memes"}
+	for i := range plan.records {
+		for _, n := range racistSeeds {
+			if plan.records[i].Name == n {
+				plan.records[i].Tags = append(plan.records[i].Tags, "racism", "antisemitism")
+				plan.isRacist[i] = true
+			}
+		}
+		for _, n := range politicalSeeds {
+			if plan.records[i].Name == n {
+				plan.records[i].Tags = append(plan.records[i].Tags, "politics", "trump")
+				plan.isPolitical[i] = true
+			}
+		}
+	}
+
+	// Assign memes to entries: each meme picks an existing entry that still
+	// has capacity, or creates a new generic entry. Racist and political
+	// quotas are filled first so the fractions hold.
+	capacityUsed := make(map[int]int)
+	pickEntry := func(wantRacist, wantPolitical bool) int {
+		// Try a few times to reuse an existing suitable entry.
+		for attempt := 0; attempt < 8; attempt++ {
+			idx := rng.Intn(len(plan.records))
+			if capacityUsed[idx] >= cfg.MemesPerEntryMax {
+				continue
+			}
+			if wantRacist && !plan.isRacist[idx] {
+				continue
+			}
+			if wantPolitical && !plan.isPolitical[idx] {
+				continue
+			}
+			if !wantRacist && plan.isRacist[idx] {
+				continue
+			}
+			if !wantPolitical && !wantRacist && plan.isPolitical[idx] {
+				continue
+			}
+			capacityUsed[idx]++
+			return idx
+		}
+		// Create a fresh entry with the right tags.
+		name := fmt.Sprintf("generated-meme-%d", len(plan.records))
+		var tags []string
+		if wantRacist {
+			tags = append(tags, "racism")
+		}
+		if wantPolitical {
+			tags = append(tags, "politics")
+		}
+		idx := addEntry(name, name, string(annotate.CategoryMeme), tags, wantRacist, wantPolitical)
+		capacityUsed[idx]++
+		return idx
+	}
+
+	for m := 0; m < cfg.NumMemes; m++ {
+		switch {
+		case m < racistCount:
+			plan.ownerOfMeme[m] = pickEntry(true, false)
+		case m < racistCount+politicalCount:
+			plan.ownerOfMeme[m] = pickEntry(false, true)
+		default:
+			plan.ownerOfMeme[m] = pickEntry(false, false)
+		}
+	}
+	return plan
+}
+
+// sampleOrigin draws an entry origin from the Figure 4(c) distribution.
+func sampleOrigin(rng *rand.Rand) string {
+	r := rng.Float64()
+	for _, o := range kymOriginDistribution {
+		r -= o.weight
+		if r <= 0 {
+			return o.origin
+		}
+	}
+	return "unknown"
+}
+
+// Site converts the dataset's KYM entries into an annotate.Site, optionally
+// dropping gallery images flagged as screenshots (the output of Step 4).
+func (d *Dataset) Site(filterScreenshots bool) (*annotate.Site, error) {
+	entries := make([]*annotate.Entry, 0, len(d.KYMEntries))
+	for _, rec := range d.KYMEntries {
+		e := &annotate.Entry{
+			Name:     rec.Name,
+			Title:    rec.Title,
+			Category: annotate.Category(rec.Category),
+			Tags:     rec.Tags,
+			Origin:   rec.Origin,
+			Year:     rec.Year,
+		}
+		for i, h := range rec.Gallery {
+			if filterScreenshots && i < len(rec.ScreenshotFlags) && rec.ScreenshotFlags[i] {
+				continue
+			}
+			e.Gallery = append(e.Gallery, hashFromUint(h))
+		}
+		entries = append(entries, e)
+	}
+	return annotate.NewSite(entries)
+}

@@ -1,0 +1,435 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/memes-pipeline/memes/internal/hawkes"
+	"github.com/memes-pipeline/memes/internal/imaging"
+	"github.com/memes-pipeline/memes/internal/phash"
+)
+
+// Config controls synthetic corpus generation.
+type Config struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// NumMemes is the number of planted memes (expected clusters).
+	NumMemes int
+	// VariantsPerMeme is the number of rendered image variants per meme.
+	VariantsPerMeme int
+	// DurationDays is the observation window length (the paper covers 396
+	// days, July 2016 - July 2017).
+	DurationDays int
+	// RateScale scales all Hawkes background rates; 1.0 corresponds to the
+	// default profile's activity level.
+	RateScale float64
+	// NoiseImages is the number of one-off (non-meme) images per community.
+	NoiseImages map[Community]int
+	// PostsWithoutImages is the number of posts per community that carry no
+	// image (they only contribute to Table 1 totals).
+	PostsWithoutImages map[Community]int
+	// RacistFraction and PoliticalFraction control the share of memes in the
+	// racist and politics tag groups (the paper measures 4.4% and 21.2%).
+	RacistFraction    float64
+	PoliticalFraction float64
+	// ScreenshotsPerEntry is the number of screenshot images polluting each
+	// KYM entry's gallery before Step 4 filtering.
+	ScreenshotsPerEntry int
+	// MemesPerEntryMax bounds how many planted memes may share one KYM entry
+	// (the paper observes heavily skewed clusters-per-entry counts).
+	MemesPerEntryMax int
+	// ImageSize is the side of rendered template images.
+	ImageSize int
+}
+
+// DefaultConfig returns the "paper" profile: a scaled-down corpus with the
+// same structure as the paper's (hundreds of memes, five communities,
+// 13 months), sized to run on a laptop in seconds.
+func DefaultConfig() Config {
+	return Config{
+		Seed:            42,
+		NumMemes:        200,
+		VariantsPerMeme: 8,
+		DurationDays:    396,
+		RateScale:       1.0,
+		NoiseImages: map[Community]int{
+			// Roughly 1.5-2x the expected meme-post volume of each community,
+			// so the fraction of unclustered ("one-off") images lands in the
+			// 60-70% band the paper reports in Table 2.
+			Pol: 110000, Reddit: 40000, Twitter: 60000, Gab: 7000, TheDonald: 11000,
+		},
+		PostsWithoutImages: map[Community]int{
+			Pol: 25000, Reddit: 60000, Twitter: 80000, Gab: 6000, TheDonald: 8000,
+		},
+		RacistFraction:      0.044,
+		PoliticalFraction:   0.212,
+		ScreenshotsPerEntry: 2,
+		MemesPerEntryMax:    6,
+		ImageSize:           64,
+	}
+}
+
+// SmallConfig returns a miniature corpus suitable for unit tests.
+func SmallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.NumMemes = 25
+	cfg.VariantsPerMeme = 5
+	cfg.DurationDays = 120
+	cfg.RateScale = 0.8
+	cfg.NoiseImages = map[Community]int{Pol: 3000, Reddit: 800, Twitter: 1500, Gab: 150, TheDonald: 400}
+	cfg.PostsWithoutImages = map[Community]int{Pol: 1000, Reddit: 2000, Twitter: 3000, Gab: 200, TheDonald: 300}
+	return cfg
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.NumMemes < 1 {
+		return errors.New("dataset: need at least one meme")
+	}
+	if c.VariantsPerMeme < 1 {
+		return errors.New("dataset: need at least one variant per meme")
+	}
+	if c.DurationDays < 2 {
+		return errors.New("dataset: duration must be at least two days")
+	}
+	if c.RateScale <= 0 {
+		return errors.New("dataset: rate scale must be positive")
+	}
+	if c.RacistFraction < 0 || c.RacistFraction > 1 ||
+		c.PoliticalFraction < 0 || c.PoliticalFraction > 1 {
+		return errors.New("dataset: tag-group fractions must be in [0,1]")
+	}
+	if c.MemesPerEntryMax < 1 {
+		return errors.New("dataset: memes per entry must be at least one")
+	}
+	if c.ImageSize < 32 {
+		return errors.New("dataset: image size must be at least 32")
+	}
+	return nil
+}
+
+// groundTruthWeights is the community-to-community excitation matrix used to
+// drive meme spreading. Rows are sources, columns destinations, in process
+// index order (/pol/, Reddit, Twitter, Gab, The Donald). The Donald has the
+// largest external row sum (most efficient spreader); /pol/ the smallest,
+// but by far the largest background rate — together these reproduce the
+// paper's headline influence findings.
+func groundTruthWeights() [][]float64 {
+	return [][]float64{
+		{0.20, 0.025, 0.02, 0.015, 0.01}, // /pol/
+		{0.02, 0.20, 0.08, 0.01, 0.02},   // Reddit
+		{0.02, 0.05, 0.20, 0.01, 0.01},   // Twitter
+		{0.02, 0.04, 0.02, 0.15, 0.02},   // Gab
+		{0.18, 0.22, 0.15, 0.08, 0.20},   // The Donald
+	}
+}
+
+// groundTruthBackground is the per-meme background posting rate (events per
+// day) of each community before popularity scaling: /pol/ dominates raw
+// production, The Donald and Gab are small.
+func groundTruthBackground() []float64 {
+	return []float64{0.50, 0.13, 0.22, 0.008, 0.03}
+}
+
+// kymOriginDistribution mirrors Figure 4(c): origins of KYM entries.
+var kymOriginDistribution = []struct {
+	origin string
+	weight float64
+}{
+	{"unknown", 0.28}, {"youtube", 0.21}, {"4chan", 0.12}, {"twitter", 0.11},
+	{"tumblr", 0.08}, {"reddit", 0.07}, {"facebook", 0.05}, {"niconico", 0.03},
+	{"ytmnd", 0.03}, {"instagram", 0.02},
+}
+
+// subredditPool lists the subreddits (other than The Donald) that receive
+// meme posts, with sampling weights for generic, political, and racist memes.
+var subredditPool = []struct {
+	name                       string
+	generic, political, racist float64
+}{
+	{"AdviceAnimals", 0.22, 0.08, 0.10},
+	{"me_irl", 0.14, 0.04, 0.08},
+	{"politics", 0.06, 0.22, 0.02},
+	{"funny", 0.14, 0.03, 0.06},
+	{"dankmemes", 0.10, 0.05, 0.05},
+	{"EnoughTrumpSpam", 0.04, 0.18, 0.02},
+	{"pics", 0.09, 0.05, 0.02},
+	{"AskReddit", 0.07, 0.03, 0.02},
+	{"conspiracy", 0.04, 0.08, 0.20},
+	{"CringeAnarchy", 0.03, 0.04, 0.18},
+	{"ImGoingToHellForThis", 0.02, 0.02, 0.17},
+	{"HOTandTrending", 0.05, 0.05, 0.03},
+	{"TrumpsTweets", 0.00, 0.13, 0.05},
+}
+
+// peopleEntryNames are KYM "people" entries that own some of the planted
+// memes, mirroring Table 5.
+var peopleEntryNames = []string{
+	"donald-trump", "hillary-clinton", "adolf-hitler", "bernie-sanders",
+	"vladimir-putin", "barack-obama", "kim-jong-un", "mitt-romney",
+}
+
+// eventEntryNames are KYM "events" entries.
+var eventEntryNames = []string{
+	"cnnblackmail", "2016-us-election", "brexit", "trumpanime-rick-wilson",
+}
+
+// memeEntryNames seed the names of meme-category entries; additional entries
+// are generated as needed.
+var memeEntryNames = []string{
+	"pepe-the-frog", "smug-frog", "feels-bad-man-sad-frog", "apu-apustaja",
+	"angry-pepe", "happy-merchant", "make-america-great-again",
+	"computer-reaction-faces", "reaction-images", "i-know-that-feel-bro",
+	"bait-this-is-bait", "counter-signal-memes", "demotivational-posters",
+	"roll-safe", "evil-kermit", "manning-face", "thats-the-joke",
+	"expanding-brain", "wojak-feels-guy", "spurdo-sparde", "laughing-tom-cruise",
+	"dubs-guy-check-em", "cult-of-kek", "murica", "this-is-fine",
+}
+
+// Generate builds a synthetic corpus according to the configuration.
+func Generate(cfg Config) (*Dataset, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	start := time.Date(2016, 7, 1, 0, 0, 0, 0, time.UTC)
+	end := start.AddDate(0, 0, cfg.DurationDays)
+	gabLaunchDay := 40.0 // Gab's dataset starts ~40 days into the window.
+
+	ds := &Dataset{
+		Start:                start,
+		End:                  end,
+		PostTotals:           make(map[Community]int),
+		GroundTruthInfluence: groundTruthWeights(),
+	}
+
+	// 1. Plan KYM entries and assign memes to them.
+	entries := planEntries(rng, cfg)
+	ds.KYMEntries = entries.records
+
+	// 2. Render meme templates and variant pools.
+	memes := make([]MemeSpec, cfg.NumMemes)
+	for i := 0; i < cfg.NumMemes; i++ {
+		owner := entries.ownerOfMeme[i]
+		spec := MemeSpec{
+			Index:        i,
+			EntryName:    entries.records[owner].Name,
+			Category:     entries.records[owner].Category,
+			Racist:       entries.isRacist[owner],
+			Political:    entries.isPolitical[owner],
+			TemplateSeed: rng.Int63(),
+			Popularity:   samplePopularity(rng),
+		}
+		base := imaging.TemplateSized(spec.TemplateSeed, cfg.ImageSize, cfg.ImageSize)
+		baseHash, err := phash.FromImage(base)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: hashing template %d: %w", i, err)
+		}
+		spec.VariantHashes = append(spec.VariantHashes, uint64(baseHash))
+		for v := 1; v < cfg.VariantsPerMeme; v++ {
+			variant := imaging.Variant(base, rng.Int63(), 0.2)
+			h, err := phash.FromImage(variant)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: hashing variant %d of meme %d: %w", v, i, err)
+			}
+			// Keep the planted cluster tight: if a rendered variant drifted
+			// beyond the clustering threshold, fall back to a small hash
+			// perturbation of the base.
+			if phash.Distance(baseHash, h) > 6 {
+				h = perturbHash(rng, baseHash, 1+rng.Intn(3))
+			}
+			spec.VariantHashes = append(spec.VariantHashes, uint64(h))
+		}
+		memes[i] = spec
+		// Attach the variants to the owning entry's gallery.
+		entries.records[owner].Gallery = append(entries.records[owner].Gallery, spec.VariantHashes...)
+		for range spec.VariantHashes {
+			entries.records[owner].ScreenshotFlags = append(entries.records[owner].ScreenshotFlags, false)
+		}
+	}
+	ds.Memes = memes
+
+	// 3. Pollute galleries with screenshots and stray images.
+	for i := range entries.records {
+		for s := 0; s < cfg.ScreenshotsPerEntry; s++ {
+			entries.records[i].Gallery = append(entries.records[i].Gallery, rng.Uint64())
+			entries.records[i].ScreenshotFlags = append(entries.records[i].ScreenshotFlags, true)
+		}
+	}
+
+	// 4. Simulate meme spreading with the ground-truth Hawkes model and
+	//    materialise posts.
+	var postID int64
+	horizon := float64(cfg.DurationDays)
+	baseMu := groundTruthBackground()
+	weights := groundTruthWeights()
+	for mi := range memes {
+		model := hawkes.NewModel(NumCommunities, 1.0)
+		for c := 0; c < NumCommunities; c++ {
+			model.Mu[c] = baseMu[c] * memes[mi].Popularity * cfg.RateScale
+			copy(model.W[c], weights[c])
+		}
+		events, roots, err := model.SimulateWithGroundTruth(rng, horizon)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: simulating meme %d: %w", mi, err)
+		}
+		for ei, ev := range events {
+			comm := Community(ev.Process)
+			if comm == Gab && ev.Time < gabLaunchDay {
+				continue // Gab did not exist yet.
+			}
+			hash := memes[mi].VariantHashes[rng.Intn(len(memes[mi].VariantHashes))]
+			post := Post{
+				ID:        postID,
+				Community: comm,
+				Timestamp: start.Add(time.Duration(ev.Time * 24 * float64(time.Hour))),
+				HasImage:  true,
+				Hash:      hash,
+				TruthMeme: mi,
+				TruthRoot: roots[ei],
+			}
+			decoratePost(rng, &post, memes[mi])
+			ds.Posts = append(ds.Posts, post)
+			postID++
+		}
+	}
+
+	// 5. Noise posts: one-off images that should end up unclustered.
+	for _, comm := range Communities() {
+		n := cfg.NoiseImages[comm]
+		for i := 0; i < n; i++ {
+			day := rng.Float64() * horizon
+			if comm == Gab {
+				day = gabLaunchDay + rng.Float64()*(horizon-gabLaunchDay)
+			}
+			post := Post{
+				ID:        postID,
+				Community: comm,
+				Timestamp: start.Add(time.Duration(day * 24 * float64(time.Hour))),
+				HasImage:  true,
+				Hash:      rng.Uint64(),
+				TruthMeme: -1,
+				TruthRoot: -1,
+			}
+			decoratePost(rng, &post, MemeSpec{})
+			ds.Posts = append(ds.Posts, post)
+			postID++
+		}
+	}
+
+	// 6. Per-community post totals (image posts + posts without images).
+	for _, p := range ds.Posts {
+		ds.PostTotals[p.Community]++
+	}
+	for comm, n := range cfg.PostsWithoutImages {
+		ds.PostTotals[comm] += n
+	}
+
+	sortPostsByTime(ds.Posts)
+	return ds, nil
+}
+
+// perturbHash flips k random distinct bits of h.
+func perturbHash(rng *rand.Rand, h phash.Hash, k int) phash.Hash {
+	perm := rng.Perm(64)
+	for i := 0; i < k && i < len(perm); i++ {
+		h ^= 1 << uint(perm[i])
+	}
+	return h
+}
+
+// samplePopularity draws a heavy-tailed popularity multiplier so a few memes
+// dominate, as in the paper's Table 4.
+func samplePopularity(rng *rand.Rand) float64 {
+	// Pareto-like: 1 / U^0.7 capped.
+	u := rng.Float64()
+	if u < 1e-3 {
+		u = 1e-3
+	}
+	p := math.Pow(1/u, 0.7) * 0.5
+	if p > 12 {
+		p = 12
+	}
+	return p
+}
+
+// decoratePost fills in community-specific metadata: scores and subreddits.
+func decoratePost(rng *rand.Rand, p *Post, meme MemeSpec) {
+	switch p.Community {
+	case Reddit, TheDonald, Gab:
+		p.Score = sampleScore(rng, p.Community, meme)
+	}
+	switch p.Community {
+	case TheDonald:
+		p.Subreddit = "The_Donald"
+	case Reddit:
+		p.Subreddit = sampleSubreddit(rng, meme)
+	}
+}
+
+// sampleScore draws a post score whose distribution depends on the meme's
+// tag groups, reproducing the ordering of Figure 9: political memes score
+// higher than average on Reddit, racist memes lower; on Gab racist memes
+// score much lower and political memes about the same as the rest.
+func sampleScore(rng *rand.Rand, comm Community, meme MemeSpec) int {
+	// Log-normal base.
+	base := math.Exp(rng.NormFloat64()*1.5 + 1.3)
+	switch comm {
+	case Reddit, TheDonald:
+		if meme.Political {
+			base *= 1.8
+		}
+		if meme.Racist {
+			base *= 0.6
+		}
+	case Gab:
+		base *= 0.6
+		if meme.Racist {
+			base *= 0.4
+		}
+	}
+	score := int(base)
+	if score < 1 {
+		score = 1
+	}
+	return score
+}
+
+// sampleSubreddit picks a subreddit for a Reddit post according to the
+// meme's tag groups.
+func sampleSubreddit(rng *rand.Rand, meme MemeSpec) string {
+	total := 0.0
+	for _, s := range subredditPool {
+		total += weightFor(s, meme)
+	}
+	r := rng.Float64() * total
+	for _, s := range subredditPool {
+		r -= weightFor(s, meme)
+		if r <= 0 {
+			return s.name
+		}
+	}
+	return subredditPool[0].name
+}
+
+func weightFor(s struct {
+	name                       string
+	generic, political, racist float64
+}, meme MemeSpec) float64 {
+	switch {
+	case meme.Racist:
+		return s.racist
+	case meme.Political:
+		return s.political
+	default:
+		return s.generic
+	}
+}
+
+func sortPostsByTime(posts []Post) {
+	sort.Slice(posts, func(i, j int) bool { return posts[i].Timestamp.Before(posts[j].Timestamp) })
+}

@@ -1,0 +1,205 @@
+// Package distance implements the paper's custom inter-cluster distance
+// metric (Section 2.3): a weighted combination of a perceptual similarity
+// derived from the Hamming distance between cluster medoids (Eq. 2) and
+// Jaccard similarities over the clusters' Know Your Meme annotations for the
+// meme, culture, and people categories (Eq. 1).
+package distance
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/memes-pipeline/memes/internal/phash"
+	"github.com/memes-pipeline/memes/internal/stats"
+)
+
+// DefaultTau is the smoother used by the paper for the perceptual
+// exponential decay: rperceptual stays high up to d=8 and decays quickly
+// afterwards.
+const DefaultTau = 25.0
+
+// Weights holds the relevance of each feature in Eq. 1. The weights must be
+// non-negative and sum to 1.
+type Weights struct {
+	Perceptual float64
+	Meme       float64
+	People     float64
+	Culture    float64
+}
+
+// FullModeWeights are the weights used when both clusters are annotated
+// (wperceptual=0.4, wmeme=0.4, wpeople=0.1, wculture=0.1).
+func FullModeWeights() Weights {
+	return Weights{Perceptual: 0.4, Meme: 0.4, People: 0.1, Culture: 0.1}
+}
+
+// PartialModeWeights are the weights used when at least one cluster lacks
+// annotations: the metric relies entirely on the perceptual feature.
+func PartialModeWeights() Weights {
+	return Weights{Perceptual: 1}
+}
+
+// Validate checks that the weights are non-negative and sum to 1.
+func (w Weights) Validate() error {
+	for _, v := range []float64{w.Perceptual, w.Meme, w.People, w.Culture} {
+		if v < 0 || math.IsNaN(v) {
+			return fmt.Errorf("distance: negative or NaN weight %v", v)
+		}
+	}
+	sum := w.Perceptual + w.Meme + w.People + w.Culture
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("distance: weights sum to %v, want 1", sum)
+	}
+	return nil
+}
+
+// ClusterFeatures is the per-cluster feature set consumed by the metric:
+// the cluster medoid's perceptual hash and the names of the KYM entries of
+// each category matched during annotation (Step 5). Annotated reports
+// whether the cluster received any annotation; it selects full vs partial
+// mode.
+type ClusterFeatures struct {
+	MedoidHash phash.Hash
+	Memes      []string
+	Cultures   []string
+	People     []string
+	Annotated  bool
+}
+
+// Metric computes inter-cluster distances. The zero value is not usable;
+// construct it with New.
+type Metric struct {
+	tau     float64
+	full    Weights
+	partial Weights
+}
+
+// Option configures a Metric.
+type Option func(*Metric)
+
+// WithTau overrides the smoother of the perceptual decay function.
+func WithTau(tau float64) Option {
+	return func(m *Metric) { m.tau = tau }
+}
+
+// WithFullModeWeights overrides the weights used when both clusters are
+// annotated.
+func WithFullModeWeights(w Weights) Option {
+	return func(m *Metric) { m.full = w }
+}
+
+// WithPartialModeWeights overrides the weights used when annotations are
+// missing.
+func WithPartialModeWeights(w Weights) Option {
+	return func(m *Metric) { m.partial = w }
+}
+
+// New returns a Metric with the paper's defaults (tau=25, full-mode weights
+// 0.4/0.4/0.1/0.1, partial mode perceptual-only), modified by opts.
+func New(opts ...Option) (*Metric, error) {
+	m := &Metric{tau: DefaultTau, full: FullModeWeights(), partial: PartialModeWeights()}
+	for _, opt := range opts {
+		opt(m)
+	}
+	if m.tau <= 0 {
+		return nil, errors.New("distance: tau must be positive")
+	}
+	if err := m.full.Validate(); err != nil {
+		return nil, fmt.Errorf("full-mode weights: %w", err)
+	}
+	if err := m.partial.Validate(); err != nil {
+		return nil, fmt.Errorf("partial-mode weights: %w", err)
+	}
+	return m, nil
+}
+
+// Tau returns the configured smoother.
+func (m *Metric) Tau() float64 { return m.tau }
+
+// PerceptualSimilarity implements Eq. 2: an exponential decay over the
+// Hamming score d with smoother tau, normalised so that d=0 gives 1 and
+// d=max gives 0... more precisely r(d) = 1 - d / (tau * e^{max/tau}) in the
+// paper's notation with the decay applied through the exponent; we use the
+// equivalent monotone form r(d) = (e^{(max-d)/tau} - 1) / (e^{max/tau} - 1),
+// which satisfies the paper's stated anchor points (r(0)=1, r(max)=0, high
+// values up to d≈8 for tau=25, near-linear decay for tau=64, and a sharp
+// drop for tau=1).
+func PerceptualSimilarity(d int, tau float64) float64 {
+	if d < 0 {
+		d = 0
+	}
+	if d > phash.MaxDistance {
+		d = phash.MaxDistance
+	}
+	if tau <= 0 {
+		tau = DefaultTau
+	}
+	max := float64(phash.MaxDistance)
+	num := math.Exp((max-float64(d))/tau) - 1
+	den := math.Exp(max/tau) - 1
+	return num / den
+}
+
+// PerceptualSimilarity evaluates Eq. 2 with the metric's configured tau.
+func (m *Metric) PerceptualSimilarity(d int) float64 {
+	return PerceptualSimilarity(d, m.tau)
+}
+
+// Distance implements Eq. 1: 1 - sum_f w_f * r_f(ci, cj). The result is in
+// [0, 1]: 0 means the clusters are (by the metric) the same meme variant,
+// 1 means they share nothing. Full-mode weights are used when both clusters
+// are annotated, partial-mode weights otherwise.
+func (m *Metric) Distance(a, b ClusterFeatures) float64 {
+	d := phash.Distance(a.MedoidHash, b.MedoidHash)
+	rp := m.PerceptualSimilarity(d)
+
+	w := m.partial
+	if a.Annotated && b.Annotated {
+		w = m.full
+	}
+	sim := w.Perceptual * rp
+	if w.Meme > 0 {
+		sim += w.Meme * stats.Jaccard(a.Memes, b.Memes)
+	}
+	if w.People > 0 {
+		sim += w.People * stats.Jaccard(a.People, b.People)
+	}
+	if w.Culture > 0 {
+		sim += w.Culture * stats.Jaccard(a.Cultures, b.Cultures)
+	}
+	dist := 1 - sim
+	if dist < 0 {
+		return 0
+	}
+	if dist > 1 {
+		return 1
+	}
+	return dist
+}
+
+// Mode reports which mode would be used to compare the two clusters.
+func (m *Metric) Mode(a, b ClusterFeatures) string {
+	if a.Annotated && b.Annotated {
+		return "full"
+	}
+	return "partial"
+}
+
+// Matrix computes the full pairwise distance matrix over the given clusters.
+// The matrix is symmetric with a zero diagonal.
+func (m *Metric) Matrix(clusters []ClusterFeatures) [][]float64 {
+	n := len(clusters)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := m.Distance(clusters[i], clusters[j])
+			out[i][j] = d
+			out[j][i] = d
+		}
+	}
+	return out
+}

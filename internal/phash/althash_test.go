@@ -1,0 +1,113 @@
+package phash
+
+import (
+	"image"
+	"testing"
+)
+
+func TestAlgorithmString(t *testing.T) {
+	if DCT.String() != "phash" || Average.String() != "ahash" || Difference.String() != "dhash" {
+		t.Fatal("unexpected algorithm names")
+	}
+	if Algorithm(99).String() != "unknown" {
+		t.Fatal("unknown algorithm should stringify as unknown")
+	}
+}
+
+func TestFromImageWithErrors(t *testing.T) {
+	for _, alg := range []Algorithm{DCT, Average, Difference} {
+		if _, err := FromImageWith(nil, alg); err == nil {
+			t.Errorf("%v: nil image should fail", alg)
+		}
+		empty := image.NewRGBA(image.Rect(0, 0, 0, 0))
+		if _, err := FromImageWith(empty, alg); err == nil {
+			t.Errorf("%v: empty image should fail", alg)
+		}
+	}
+}
+
+func TestAlternativeHashesDeterministic(t *testing.T) {
+	img := blockImage(77, 128, 128)
+	for _, alg := range []Algorithm{Average, Difference} {
+		h1, err := FromImageWith(img, alg)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		h2, err := FromImageWith(img, alg)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if h1 != h2 {
+			t.Errorf("%v: hash not deterministic", alg)
+		}
+	}
+}
+
+func TestAlternativeHashesSimilarityStructure(t *testing.T) {
+	// For every algorithm: a brightness-shifted copy stays close, a distinct
+	// image stays far.
+	base := blockImage(5, 128, 128)
+	bright := image.NewRGBA(base.Bounds())
+	copy(bright.Pix, base.Pix)
+	for i := 0; i < len(bright.Pix); i += 4 {
+		for c := 0; c < 3; c++ {
+			v := int(bright.Pix[i+c]) + 12
+			if v > 255 {
+				v = 255
+			}
+			bright.Pix[i+c] = uint8(v)
+		}
+	}
+	other := blockImage(9999, 128, 128)
+	for _, alg := range []Algorithm{DCT, Average, Difference} {
+		hBase, err := FromImageWith(base, alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hBright, err := FromImageWith(bright, alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hOther, err := FromImageWith(other, alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		near := Distance(hBase, hBright)
+		far := Distance(hBase, hOther)
+		if near > 10 {
+			t.Errorf("%v: brightness shift moved hash %d bits", alg, near)
+		}
+		if far <= near {
+			t.Errorf("%v: distinct image (%d bits) not farther than near-duplicate (%d bits)", alg, far, near)
+		}
+	}
+}
+
+func TestDifferenceHashIgnoresGlobalBrightness(t *testing.T) {
+	// dHash compares adjacent pixels, so adding a constant to every pixel
+	// (without clipping) must not change the hash at all.
+	img := blockImage(21, 64, 64)
+	shifted := image.NewRGBA(img.Bounds())
+	for i := 0; i < len(img.Pix); i += 4 {
+		for c := 0; c < 3; c++ {
+			v := int(img.Pix[i+c])
+			// Scale into [0,200] first so +40 never clips.
+			v = v * 200 / 255
+			img.Pix[i+c] = uint8(v)
+			shifted.Pix[i+c] = uint8(v + 40)
+		}
+		img.Pix[i+3] = 255
+		shifted.Pix[i+3] = 255
+	}
+	h1, err := FromImageWith(img, Difference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := FromImageWith(shifted, Difference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Distance(h1, h2); d > 2 {
+		t.Fatalf("dHash should be invariant to a global brightness shift, distance %d", d)
+	}
+}

@@ -1,0 +1,151 @@
+package phash
+
+// BKTree is a Burkhard-Keller tree over 64-bit perceptual hashes with the
+// Hamming distance as metric. It answers radius queries ("all hashes within
+// distance r of q") in far fewer comparisons than a linear scan, which is how
+// this repository replaces the paper's GPU-backed pairwise comparison engine:
+// the distances computed are identical, only the search strategy differs.
+//
+// The tree stores every distinct hash once together with the list of item IDs
+// that produced it, so inserting millions of near-duplicate images stays
+// compact.
+//
+// BKTree is not safe for concurrent mutation. Concurrent queries after all
+// inserts are complete are safe.
+type BKTree struct {
+	root *bkNode
+	size int // number of (hash, id) pairs inserted
+	keys int // number of distinct hashes
+}
+
+type bkNode struct {
+	hash     Hash
+	ids      []int64
+	children map[int]*bkNode
+}
+
+// NewBKTree returns an empty BK-tree.
+func NewBKTree() *BKTree {
+	return &BKTree{}
+}
+
+// Len returns the number of (hash, id) pairs inserted.
+func (t *BKTree) Len() int { return t.size }
+
+// Keys returns the number of distinct hashes stored.
+func (t *BKTree) Keys() int { return t.keys }
+
+// Insert adds a hash with an associated item identifier. Duplicate hashes are
+// merged into the existing node.
+func (t *BKTree) Insert(h Hash, id int64) {
+	t.size++
+	if t.root == nil {
+		t.root = &bkNode{hash: h, ids: []int64{id}}
+		t.keys++
+		return
+	}
+	node := t.root
+	for {
+		d := Distance(h, node.hash)
+		if d == 0 {
+			node.ids = append(node.ids, id)
+			return
+		}
+		if node.children == nil {
+			node.children = make(map[int]*bkNode)
+		}
+		child, ok := node.children[d]
+		if !ok {
+			node.children[d] = &bkNode{hash: h, ids: []int64{id}}
+			t.keys++
+			return
+		}
+		node = child
+	}
+}
+
+// Match is a single radius-query result: a stored hash, its distance from the
+// query, and the item IDs that share that hash.
+type Match struct {
+	Hash     Hash
+	Distance int
+	IDs      []int64
+}
+
+// Radius returns all stored hashes within Hamming distance radius of q,
+// together with their item IDs. Results are unordered.
+func (t *BKTree) Radius(q Hash, radius int) []Match {
+	if t.root == nil || radius < 0 {
+		return nil
+	}
+	var out []Match
+	stack := []*bkNode{t.root}
+	for len(stack) > 0 {
+		node := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		d := Distance(q, node.hash)
+		if d <= radius {
+			out = append(out, Match{Hash: node.hash, Distance: d, IDs: node.ids})
+		}
+		if node.children == nil {
+			continue
+		}
+		lo, hi := d-radius, d+radius
+		for cd, child := range node.children {
+			if cd >= lo && cd <= hi {
+				stack = append(stack, child)
+			}
+		}
+	}
+	return out
+}
+
+// Nearest returns the stored hash closest to q and its distance. The boolean
+// is false when the tree is empty. Ties are broken arbitrarily.
+func (t *BKTree) Nearest(q Hash) (Match, bool) {
+	if t.root == nil {
+		return Match{}, false
+	}
+	best := Match{Distance: MaxDistance + 1}
+	stack := []*bkNode{t.root}
+	for len(stack) > 0 {
+		node := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		d := Distance(q, node.hash)
+		if d < best.Distance {
+			best = Match{Hash: node.hash, Distance: d, IDs: node.ids}
+			if d == 0 {
+				return best, true
+			}
+		}
+		if node.children == nil {
+			continue
+		}
+		lo, hi := d-best.Distance, d+best.Distance
+		for cd, child := range node.children {
+			if cd >= lo && cd <= hi {
+				stack = append(stack, child)
+			}
+		}
+	}
+	return best, true
+}
+
+// Walk visits every distinct hash stored in the tree in unspecified order.
+// Returning false from fn stops the walk early.
+func (t *BKTree) Walk(fn func(h Hash, ids []int64) bool) {
+	if t.root == nil {
+		return
+	}
+	stack := []*bkNode{t.root}
+	for len(stack) > 0 {
+		node := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !fn(node.hash, node.ids) {
+			return
+		}
+		for _, child := range node.children {
+			stack = append(stack, child)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package phash
+
+import (
+	"math"
+	"sync"
+)
+
+// dct2D computes the 2-D type-II discrete cosine transform of a square
+// lowResSize x lowResSize matrix given in row-major order. The transform is
+// separable: a 1-D DCT is applied to every row and then to every column.
+// Coefficient tables are precomputed once because the pipeline hashes
+// millions of images with the same dimensions.
+func dct2D(pix []float64) []float64 {
+	n := lowResSize
+	table := dctTable()
+
+	tmp := make([]float64, n*n)
+	out := make([]float64, n*n)
+
+	// Rows.
+	for y := 0; y < n; y++ {
+		row := pix[y*n : (y+1)*n]
+		dst := tmp[y*n : (y+1)*n]
+		dct1D(row, dst, table)
+	}
+	// Columns.
+	col := make([]float64, n)
+	res := make([]float64, n)
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			col[y] = tmp[y*n+x]
+		}
+		dct1D(col, res, table)
+		for y := 0; y < n; y++ {
+			out[y*n+x] = res[y]
+		}
+	}
+	return out
+}
+
+// dct1D computes the 1-D DCT-II of src into dst using the precomputed cosine
+// table. len(src) == len(dst) == lowResSize.
+func dct1D(src, dst []float64, table []float64) {
+	n := len(src)
+	for k := 0; k < n; k++ {
+		sum := 0.0
+		row := table[k*n:]
+		for i := 0; i < n; i++ {
+			sum += src[i] * row[i]
+		}
+		dst[k] = sum * dctScale(k, n)
+	}
+}
+
+// dctScale returns the orthonormal scaling factor for coefficient k of an
+// n-point DCT-II.
+func dctScale(k, n int) float64 {
+	if k == 0 {
+		return math.Sqrt(1.0 / float64(n))
+	}
+	return math.Sqrt(2.0 / float64(n))
+}
+
+var (
+	dctTableOnce sync.Once
+	dctTableVals []float64
+)
+
+// dctTable returns the lowResSize x lowResSize cosine basis table where entry
+// (k, i) = cos(pi/n * (i + 0.5) * k).
+func dctTable() []float64 {
+	dctTableOnce.Do(func() {
+		n := lowResSize
+		dctTableVals = make([]float64, n*n)
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				dctTableVals[k*n+i] = math.Cos(math.Pi / float64(n) * (float64(i) + 0.5) * float64(k))
+			}
+		}
+	})
+	return dctTableVals
+}

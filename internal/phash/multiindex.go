@@ -1,0 +1,219 @@
+package phash
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// MultiIndex implements multi-index hashing (MIH) over 64-bit perceptual
+// hashes. The hash is split into nbBands disjoint bands; by the pigeonhole
+// principle, two hashes within Hamming distance r must agree on at least one
+// band whenever r < nbBands * (bandBits - adjustment), so candidate lookups
+// only need exact band matches followed by full-distance verification.
+//
+// With the default 4 bands of 16 bits each, any query radius r <= 3 is
+// guaranteed exact (some band matches exactly); for larger radii the index
+// also probes band values at distance 1, which keeps queries exact up to
+// r <= 7 and covers the pipeline's operating threshold of 8 by probing
+// distance-2 neighbours on demand.
+//
+// MultiIndex is not safe for concurrent mutation; concurrent queries after
+// construction are safe.
+type MultiIndex struct {
+	bands    int
+	bandBits int
+	tables   []map[uint64][]int32 // per-band: band value -> indexes into items
+	hashes   []Hash
+	ids      []int64
+}
+
+// NewMultiIndex returns an empty multi-index over 4 bands of 16 bits.
+func NewMultiIndex() *MultiIndex {
+	const bands = 4
+	m := &MultiIndex{
+		bands:    bands,
+		bandBits: Size / bands,
+		tables:   make([]map[uint64][]int32, bands),
+	}
+	for i := range m.tables {
+		m.tables[i] = make(map[uint64][]int32)
+	}
+	return m
+}
+
+// Len returns the number of (hash, id) pairs stored.
+func (m *MultiIndex) Len() int { return len(m.hashes) }
+
+// Insert adds a hash and its item identifier to the index.
+func (m *MultiIndex) Insert(h Hash, id int64) {
+	idx := int32(len(m.hashes))
+	m.hashes = append(m.hashes, h)
+	m.ids = append(m.ids, id)
+	for b := 0; b < m.bands; b++ {
+		key := m.band(h, b)
+		m.tables[b][key] = append(m.tables[b][key], idx)
+	}
+}
+
+func (m *MultiIndex) band(h Hash, b int) uint64 {
+	shift := uint(b * m.bandBits)
+	mask := uint64(1)<<uint(m.bandBits) - 1
+	return (uint64(h) >> shift) & mask
+}
+
+// Radius returns all stored entries within Hamming distance radius of q.
+// The search is exact for radius <= 2*bands - 1 (i.e. 7 with the default
+// 4 bands) using distance-<=1 band probing, and falls back to a parallel
+// linear scan beyond that so results are always exact.
+func (m *MultiIndex) Radius(q Hash, radius int) []Match {
+	if radius < 0 || len(m.hashes) == 0 {
+		return nil
+	}
+	// Pigeonhole: if radius errors are spread across bands, at least one band
+	// has at most floor(radius/bands) errors. With distance-1 probing we are
+	// exact while floor(radius/bands) <= 1, i.e. radius <= 2*bands-1.
+	if radius > 2*m.bands-1 {
+		return m.linearRadius(q, radius)
+	}
+	seen := make(map[int32]struct{})
+	var out []Match
+	probe := func(b int, key uint64) {
+		for _, idx := range m.tables[b][key] {
+			if _, dup := seen[idx]; dup {
+				continue
+			}
+			seen[idx] = struct{}{}
+			d := Distance(q, m.hashes[idx])
+			if d <= radius {
+				out = append(out, Match{Hash: m.hashes[idx], Distance: d, IDs: []int64{m.ids[idx]}})
+			}
+		}
+	}
+	for b := 0; b < m.bands; b++ {
+		key := m.band(q, b)
+		probe(b, key)
+		if radius >= m.bands {
+			// Probe all band values at Hamming distance 1.
+			for bit := 0; bit < m.bandBits; bit++ {
+				probe(b, key^(1<<uint(bit)))
+			}
+		}
+	}
+	return mergeMatches(out)
+}
+
+// linearRadius performs an exact parallel scan; used for large radii where
+// banded probing is no longer guaranteed exact.
+func (m *MultiIndex) linearRadius(q Hash, radius int) []Match {
+	n := len(m.hashes)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	type part struct{ matches []Match }
+	parts := make([]part, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				d := Distance(q, m.hashes[i])
+				if d <= radius {
+					parts[w].matches = append(parts[w].matches, Match{
+						Hash: m.hashes[i], Distance: d, IDs: []int64{m.ids[i]},
+					})
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var out []Match
+	for _, p := range parts {
+		out = append(out, p.matches...)
+	}
+	return mergeMatches(out)
+}
+
+// mergeMatches merges matches that share the same hash, concatenating IDs,
+// and returns them sorted by distance then hash for determinism.
+func mergeMatches(in []Match) []Match {
+	if len(in) == 0 {
+		return nil
+	}
+	byHash := make(map[Hash]*Match, len(in))
+	for _, m := range in {
+		if ex, ok := byHash[m.Hash]; ok {
+			ex.IDs = append(ex.IDs, m.IDs...)
+			continue
+		}
+		cp := m
+		cp.IDs = append([]int64(nil), m.IDs...)
+		byHash[m.Hash] = &cp
+	}
+	out := make([]Match, 0, len(byHash))
+	for _, m := range byHash {
+		sort.Slice(m.IDs, func(i, j int) bool { return m.IDs[i] < m.IDs[j] })
+		out = append(out, *m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Distance != out[j].Distance {
+			return out[i].Distance < out[j].Distance
+		}
+		return out[i].Hash < out[j].Hash
+	})
+	return out
+}
+
+// PairwiseWithin computes, in parallel, all pairs (i, j), i < j, of the given
+// hashes whose Hamming distance is at most radius. It is the drop-in
+// replacement for the paper's TensorFlow pairwise comparison step and is used
+// by DBSCAN's neighbourhood precomputation. The callback receives the indexes
+// of the pair and their distance; it must be safe for concurrent invocation.
+func PairwiseWithin(hashes []Hash, radius int, fn func(i, j, d int)) {
+	n := len(hashes)
+	if n < 2 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, workers)
+	go func() {
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				hi := hashes[i]
+				for j := i + 1; j < n; j++ {
+					d := Distance(hi, hashes[j])
+					if d <= radius {
+						fn(i, j, d)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,274 @@
+// Package phash implements 64-bit DCT-based perceptual hashing of images,
+// Hamming-distance computation, and nearest-neighbour indexes (BK-tree and
+// multi-index hashing) used by the meme-tracking pipeline.
+//
+// The hash follows the classic pHash construction used by the paper's
+// ImageHash dependency: the image is converted to grayscale, downsampled to
+// 32x32 with bilinear interpolation, transformed with a 2-D DCT-II, and the
+// top-left 8x8 block of low-frequency coefficients (excluding the DC term
+// when computing the threshold) is binarised around its median. Visually
+// similar images therefore map to hashes within a small Hamming distance.
+package phash
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"image"
+	"image/color"
+	"math/bits"
+	"strconv"
+)
+
+// Size is the number of bits in a perceptual hash.
+const Size = 64
+
+// MaxDistance is the maximum possible Hamming distance between two hashes.
+const MaxDistance = Size
+
+// Hash is a 64-bit perceptual hash. The zero value is a valid hash (all
+// zero bits) but is unlikely to be produced by a natural image.
+type Hash uint64
+
+// lowResSize is the side of the intermediate downsampled grayscale image.
+const lowResSize = 32
+
+// dctBlock is the side of the low-frequency DCT block retained for hashing.
+const dctBlock = 8
+
+var errEmptyImage = errors.New("phash: empty image")
+
+// FromImage computes the perceptual hash of img.
+func FromImage(img image.Image) (Hash, error) {
+	if img == nil {
+		return 0, errEmptyImage
+	}
+	b := img.Bounds()
+	if b.Dx() <= 0 || b.Dy() <= 0 {
+		return 0, errEmptyImage
+	}
+	gray := toGray(img)
+	small := resizeBilinear(gray, lowResSize, lowResSize)
+	coeffs := dct2D(small)
+
+	// Collect the top-left 8x8 block of coefficients.
+	var block [dctBlock * dctBlock]float64
+	for y := 0; y < dctBlock; y++ {
+		for x := 0; x < dctBlock; x++ {
+			block[y*dctBlock+x] = coeffs[y*lowResSize+x]
+		}
+	}
+	// Median excludes the DC coefficient, which otherwise dominates.
+	med := medianExcludingFirst(block[:])
+
+	var h Hash
+	for i, v := range block {
+		if v > med {
+			h |= 1 << uint(i)
+		}
+	}
+	return h, nil
+}
+
+// FromGray computes the perceptual hash of a grayscale matrix given in
+// row-major order with the provided dimensions. It is the low-level entry
+// point used by synthetic workload generators that never materialise an
+// image.Image.
+func FromGray(pix []float64, w, h int) (Hash, error) {
+	if w <= 0 || h <= 0 || len(pix) != w*h {
+		return 0, fmt.Errorf("phash: invalid gray matrix %dx%d with %d pixels", w, h, len(pix))
+	}
+	small := resizeBilinearRaw(pix, w, h, lowResSize, lowResSize)
+	coeffs := dct2D(small)
+	var block [dctBlock * dctBlock]float64
+	for y := 0; y < dctBlock; y++ {
+		for x := 0; x < dctBlock; x++ {
+			block[y*dctBlock+x] = coeffs[y*lowResSize+x]
+		}
+	}
+	med := medianExcludingFirst(block[:])
+	var out Hash
+	for i, v := range block {
+		if v > med {
+			out |= 1 << uint(i)
+		}
+	}
+	return out, nil
+}
+
+// Distance returns the Hamming distance between two hashes, i.e. the number
+// of bit positions at which they differ. The result is in [0, 64].
+func Distance(a, b Hash) int {
+	return bits.OnesCount64(uint64(a ^ b))
+}
+
+// Similar reports whether the Hamming distance between a and b is at most
+// threshold.
+func Similar(a, b Hash, threshold int) bool {
+	return Distance(a, b) <= threshold
+}
+
+// String returns the canonical 16-character lowercase hexadecimal
+// representation of the hash, matching the string form used in the paper
+// (e.g. "55352b0b8d8b5b53").
+func (h Hash) String() string {
+	return fmt.Sprintf("%016x", uint64(h))
+}
+
+// Parse parses a hash from its hexadecimal string representation.
+func Parse(s string) (Hash, error) {
+	if len(s) == 0 || len(s) > 16 {
+		return 0, fmt.Errorf("phash: invalid hash string %q", s)
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("phash: invalid hash string %q: %w", s, err)
+	}
+	return Hash(v), nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (h Hash) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 8)
+	binary.BigEndian.PutUint64(buf, uint64(h))
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (h *Hash) UnmarshalBinary(data []byte) error {
+	if len(data) != 8 {
+		return fmt.Errorf("phash: invalid binary hash length %d", len(data))
+	}
+	*h = Hash(binary.BigEndian.Uint64(data))
+	return nil
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (h Hash) MarshalText() ([]byte, error) { return []byte(h.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (h *Hash) UnmarshalText(data []byte) error {
+	v, err := Parse(string(data))
+	if err != nil {
+		return err
+	}
+	*h = v
+	return nil
+}
+
+// toGray converts an image to a float64 luminance matrix in row-major order
+// with the same dimensions as the source bounds.
+func toGray(img image.Image) grayMatrix {
+	b := img.Bounds()
+	w, h := b.Dx(), b.Dy()
+	m := grayMatrix{w: w, h: h, pix: make([]float64, w*h)}
+	switch src := img.(type) {
+	case *image.Gray:
+		for y := 0; y < h; y++ {
+			row := src.Pix[(y+b.Min.Y-src.Rect.Min.Y)*src.Stride:]
+			for x := 0; x < w; x++ {
+				m.pix[y*w+x] = float64(row[x+b.Min.X-src.Rect.Min.X])
+			}
+		}
+	case *image.RGBA:
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				i := src.PixOffset(x+b.Min.X, y+b.Min.Y)
+				r, g, bl := src.Pix[i], src.Pix[i+1], src.Pix[i+2]
+				m.pix[y*w+x] = luminance(float64(r), float64(g), float64(bl))
+			}
+		}
+	default:
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				c := color.RGBAModel.Convert(img.At(x+b.Min.X, y+b.Min.Y)).(color.RGBA)
+				m.pix[y*w+x] = luminance(float64(c.R), float64(c.G), float64(c.B))
+			}
+		}
+	}
+	return m
+}
+
+// luminance computes the ITU-R BT.601 luma from 8-bit RGB components.
+func luminance(r, g, b float64) float64 {
+	return 0.299*r + 0.587*g + 0.114*b
+}
+
+type grayMatrix struct {
+	w, h int
+	pix  []float64
+}
+
+// resizeBilinear resizes a grayscale matrix to dw x dh using bilinear
+// interpolation and returns the result in row-major order.
+func resizeBilinear(m grayMatrix, dw, dh int) []float64 {
+	return resizeBilinearRaw(m.pix, m.w, m.h, dw, dh)
+}
+
+func resizeBilinearRaw(pix []float64, sw, sh, dw, dh int) []float64 {
+	out := make([]float64, dw*dh)
+	if sw == dw && sh == dh {
+		copy(out, pix)
+		return out
+	}
+	xRatio := float64(sw-1) / float64(maxInt(dw-1, 1))
+	yRatio := float64(sh-1) / float64(maxInt(dh-1, 1))
+	for y := 0; y < dh; y++ {
+		sy := float64(y) * yRatio
+		y0 := int(sy)
+		y1 := y0
+		if y1 < sh-1 {
+			y1++
+		}
+		fy := sy - float64(y0)
+		for x := 0; x < dw; x++ {
+			sx := float64(x) * xRatio
+			x0 := int(sx)
+			x1 := x0
+			if x1 < sw-1 {
+				x1++
+			}
+			fx := sx - float64(x0)
+			p00 := pix[y0*sw+x0]
+			p01 := pix[y0*sw+x1]
+			p10 := pix[y1*sw+x0]
+			p11 := pix[y1*sw+x1]
+			top := p00 + (p01-p00)*fx
+			bot := p10 + (p11-p10)*fx
+			out[y*dw+x] = top + (bot-top)*fy
+		}
+	}
+	return out
+}
+
+// medianExcludingFirst returns the median of vals[1:]; the first element is
+// the DC coefficient that is conventionally excluded from the threshold.
+func medianExcludingFirst(vals []float64) float64 {
+	tmp := make([]float64, len(vals)-1)
+	copy(tmp, vals[1:])
+	insertionSort(tmp)
+	n := len(tmp)
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return (tmp[n/2-1] + tmp[n/2]) / 2
+}
+
+func insertionSort(a []float64) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

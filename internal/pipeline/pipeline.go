@@ -1,0 +1,391 @@
+// Package pipeline orchestrates the paper's processing pipeline (Figure 2):
+//
+//	Step 1   pHash extraction (performed by the dataset generator or by
+//	         hashing images directly via HashImages)
+//	Steps 2-3 pairwise distance computation and DBSCAN clustering of the
+//	         images posted on the fringe communities (/pol/, The Donald, Gab)
+//	Step 4   screenshot removal from annotation-site galleries
+//	Step 5   cluster annotation against the KYM site
+//	Step 6   association of images from all communities to annotated clusters
+//	Step 7   analysis and influence estimation (package analysis)
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"image"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/memes-pipeline/memes/internal/annotate"
+	"github.com/memes-pipeline/memes/internal/cluster"
+	"github.com/memes-pipeline/memes/internal/dataset"
+	"github.com/memes-pipeline/memes/internal/distance"
+	"github.com/memes-pipeline/memes/internal/phash"
+)
+
+// Config holds the tunable parameters of the pipeline.
+type Config struct {
+	// Clustering configures DBSCAN (Steps 2-3); the paper uses eps=8,
+	// minPts=5.
+	Clustering cluster.DBSCANConfig
+	// AnnotationThreshold is θ for matching cluster medoids against KYM
+	// gallery images (Step 5).
+	AnnotationThreshold int
+	// AssociationThreshold is θ for matching posts from any community
+	// against annotated cluster medoids (Step 6).
+	AssociationThreshold int
+	// Workers bounds the number of concurrent workers used for association;
+	// zero means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultConfig returns the paper's parameters.
+func DefaultConfig() Config {
+	return Config{
+		Clustering:           cluster.DefaultDBSCANConfig(),
+		AnnotationThreshold:  annotate.DefaultThreshold,
+		AssociationThreshold: annotate.DefaultThreshold,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if err := c.Clustering.Validate(); err != nil {
+		return err
+	}
+	if c.AnnotationThreshold < 0 || c.AnnotationThreshold > phash.MaxDistance {
+		return fmt.Errorf("pipeline: annotation threshold %d out of range", c.AnnotationThreshold)
+	}
+	if c.AssociationThreshold < 0 || c.AssociationThreshold > phash.MaxDistance {
+		return fmt.Errorf("pipeline: association threshold %d out of range", c.AssociationThreshold)
+	}
+	if c.Workers < 0 {
+		return errors.New("pipeline: negative worker count")
+	}
+	return nil
+}
+
+// ClusterInfo is one cluster produced by Steps 2-5: which fringe community
+// it came from, its medoid, its size, and its KYM annotation.
+type ClusterInfo struct {
+	// ID is the cluster's index in Result.Clusters.
+	ID int
+	// Community is the fringe community the cluster was built from.
+	Community dataset.Community
+	// Label is the DBSCAN label within that community.
+	Label int
+	// MedoidHash is the perceptual hash of the cluster medoid.
+	MedoidHash phash.Hash
+	// Images is the number of image occurrences in the cluster.
+	Images int
+	// DistinctHashes is the number of distinct perceptual hashes in the
+	// cluster.
+	DistinctHashes int
+	// Annotation is the Step 5 annotation (possibly empty).
+	Annotation annotate.Annotation
+	// Racist and Political report membership of the representative entry (or
+	// any matched entry) in the tag groups of Section 4.2.1.
+	Racist    bool
+	Political bool
+}
+
+// Annotated reports whether the cluster received a KYM annotation.
+func (c *ClusterInfo) Annotated() bool { return c.Annotation.Annotated() }
+
+// EntryName returns the representative KYM entry name, or "" when the
+// cluster is unannotated.
+func (c *ClusterInfo) EntryName() string {
+	if c.Annotation.Representative == nil {
+		return ""
+	}
+	return c.Annotation.Representative.Name
+}
+
+// Features converts the cluster into the feature set consumed by the custom
+// distance metric.
+func (c *ClusterInfo) Features() distance.ClusterFeatures {
+	return distance.ClusterFeatures{
+		MedoidHash: c.MedoidHash,
+		Memes:      c.Annotation.NamesByCategory(annotate.CategoryMeme),
+		Cultures: append(c.Annotation.NamesByCategory(annotate.CategoryCulture),
+			c.Annotation.NamesByCategory(annotate.CategorySubculture)...),
+		People:    c.Annotation.NamesByCategory(annotate.CategoryPeople),
+		Annotated: c.Annotated(),
+	}
+}
+
+// CommunityClustering summarises Steps 2-3 for one fringe community
+// (Table 2).
+type CommunityClustering struct {
+	Community      dataset.Community
+	Images         int
+	DistinctHashes int
+	NoiseImages    int
+	Clusters       int
+	Annotated      int
+}
+
+// NoiseFraction returns the fraction of images labelled noise.
+func (c CommunityClustering) NoiseFraction() float64 {
+	if c.Images == 0 {
+		return 0
+	}
+	return float64(c.NoiseImages) / float64(c.Images)
+}
+
+// Association links one post to an annotated cluster (Step 6).
+type Association struct {
+	// PostIndex indexes into the dataset's Posts slice.
+	PostIndex int
+	// ClusterID indexes into Result.Clusters.
+	ClusterID int
+	// Distance is the Hamming distance between the post image and the
+	// cluster medoid.
+	Distance int
+}
+
+// Result is the output of Steps 1-6.
+type Result struct {
+	// Config echoes the configuration used.
+	Config Config
+	// Dataset is the corpus the pipeline ran on.
+	Dataset *dataset.Dataset
+	// Site is the annotation site used for Step 5.
+	Site *annotate.Site
+	// PerCommunity holds the clustering summary of each fringe community.
+	PerCommunity map[dataset.Community]CommunityClustering
+	// Clusters lists every cluster across the fringe communities.
+	Clusters []ClusterInfo
+	// Associations links posts from all communities to annotated clusters.
+	Associations []Association
+}
+
+// AnnotatedClusters returns the indexes of clusters with a KYM annotation.
+func (r *Result) AnnotatedClusters() []int {
+	var out []int
+	for i := range r.Clusters {
+		if r.Clusters[i].Annotated() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Run executes Steps 1-6 over a generated dataset and an annotation site.
+// The site should already have screenshots removed (Step 4); use
+// dataset.Dataset.Site(true) or a screenshot.Classifier-based filter.
+func Run(ds *dataset.Dataset, site *annotate.Site, cfg Config) (*Result, error) {
+	if ds == nil || site == nil {
+		return nil, errors.New("pipeline: nil dataset or site")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Config:       cfg,
+		Dataset:      ds,
+		Site:         site,
+		PerCommunity: make(map[dataset.Community]CommunityClustering),
+	}
+
+	// Steps 2-3 + 5: cluster each fringe community and annotate the medoids.
+	for _, comm := range dataset.Communities() {
+		if !comm.Fringe() {
+			continue
+		}
+		if err := res.clusterCommunity(comm); err != nil {
+			return nil, fmt.Errorf("pipeline: clustering %v: %w", comm, err)
+		}
+	}
+
+	// Step 6: associate posts from every community with annotated clusters.
+	if err := res.associate(); err != nil {
+		return nil, fmt.Errorf("pipeline: association: %w", err)
+	}
+	return res, nil
+}
+
+// clusterCommunity performs Steps 2-3 and 5 for one fringe community.
+func (r *Result) clusterCommunity(comm dataset.Community) error {
+	// Distinct hashes and their occurrence counts within this community.
+	var hashes []phash.Hash
+	var counts []int
+	index := make(map[phash.Hash]int)
+	images := 0
+	for _, p := range r.Dataset.Posts {
+		if !p.HasImage || p.Community != comm {
+			continue
+		}
+		images++
+		h := p.PHash()
+		if at, ok := index[h]; ok {
+			counts[at]++
+		} else {
+			index[h] = len(hashes)
+			hashes = append(hashes, h)
+			counts = append(counts, 1)
+		}
+	}
+
+	summary := CommunityClustering{Community: comm, Images: images, DistinctHashes: len(hashes)}
+	if len(hashes) == 0 {
+		r.PerCommunity[comm] = summary
+		return nil
+	}
+
+	dbres, err := cluster.DBSCAN(hashes, counts, r.Config.Clustering)
+	if err != nil {
+		return err
+	}
+	clusters := cluster.Materialize(hashes, counts, dbres)
+	summary.Clusters = len(clusters)
+	// Noise measured in image occurrences, as in Table 2.
+	noiseImages := 0
+	for i, lbl := range dbres.Labels {
+		if lbl == cluster.Noise {
+			noiseImages += counts[i]
+		}
+	}
+	summary.NoiseImages = noiseImages
+
+	for _, c := range clusters {
+		ann := r.Site.Annotate(c.MedoidHash, r.Config.AnnotationThreshold)
+		info := ClusterInfo{
+			ID:             len(r.Clusters),
+			Community:      comm,
+			Label:          c.Label,
+			MedoidHash:     c.MedoidHash,
+			Images:         c.Size,
+			DistinctHashes: len(c.Members),
+			Annotation:     ann,
+		}
+		for _, m := range ann.Matches {
+			if m.Entry.IsRacist() {
+				info.Racist = true
+			}
+			if m.Entry.IsPolitical() {
+				info.Political = true
+			}
+		}
+		if ann.Annotated() {
+			summary.Annotated++
+		}
+		r.Clusters = append(r.Clusters, info)
+	}
+	r.PerCommunity[comm] = summary
+	return nil
+}
+
+// associate implements Step 6: every image post from every community is
+// matched against the medoids of the annotated clusters; the nearest medoid
+// within the association threshold wins.
+func (r *Result) associate() error {
+	annotated := r.AnnotatedClusters()
+	if len(annotated) == 0 {
+		return nil
+	}
+	medoidIndex := phash.NewBKTree()
+	for _, ci := range annotated {
+		medoidIndex.Insert(r.Clusters[ci].MedoidHash, int64(ci))
+	}
+
+	workers := r.Config.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type job struct{ lo, hi int }
+	jobs := make(chan job, workers)
+	results := make([][]Association, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for jb := range jobs {
+				for i := jb.lo; i < jb.hi; i++ {
+					p := r.Dataset.Posts[i]
+					if !p.HasImage {
+						continue
+					}
+					matches := medoidIndex.Radius(p.PHash(), r.Config.AssociationThreshold)
+					if len(matches) == 0 {
+						continue
+					}
+					best := matches[0]
+					for _, m := range matches[1:] {
+						if m.Distance < best.Distance {
+							best = m
+						}
+					}
+					// Deterministic tie-break: the lowest cluster ID at the
+					// best distance.
+					bestID := best.IDs[0]
+					for _, id := range best.IDs {
+						if id < bestID {
+							bestID = id
+						}
+					}
+					results[w] = append(results[w], Association{
+						PostIndex: i,
+						ClusterID: int(bestID),
+						Distance:  best.Distance,
+					})
+				}
+			}
+		}(w)
+	}
+	n := len(r.Dataset.Posts)
+	chunk := (n + workers*4 - 1) / (workers * 4)
+	if chunk < 1 {
+		chunk = 1
+	}
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		jobs <- job{lo: lo, hi: hi}
+	}
+	close(jobs)
+	wg.Wait()
+
+	for _, part := range results {
+		r.Associations = append(r.Associations, part...)
+	}
+	sort.Slice(r.Associations, func(i, j int) bool {
+		return r.Associations[i].PostIndex < r.Associations[j].PostIndex
+	})
+	return nil
+}
+
+// HashImages is the Step 1 helper for callers that hold raw images rather
+// than a generated dataset: it hashes every image concurrently and returns
+// the hashes in input order. Nil images produce an error.
+func HashImages(images []image.Image, workers int) ([]phash.Hash, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]phash.Hash, len(images))
+	errs := make([]error, len(images))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, img := range images {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, img image.Image) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			h, err := phash.FromImage(img)
+			out[i], errs[i] = h, err
+		}(i, img)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: hashing image %d: %w", i, err)
+		}
+	}
+	return out, nil
+}

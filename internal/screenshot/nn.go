@@ -1,0 +1,188 @@
+package screenshot
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Classifier is a small feed-forward neural network with one hidden layer
+// and dropout, producing the probability that an image is a social-network
+// screenshot. It stands in for the paper's Keras CNN (Appendix C); see the
+// package documentation for the substitution rationale.
+type Classifier struct {
+	inputDim  int
+	hiddenDim int
+	// w1 is hiddenDim x inputDim, b1 is hiddenDim.
+	w1 [][]float64
+	b1 []float64
+	// w2 is hiddenDim, b2 scalar (single logistic output unit).
+	w2 []float64
+	b2 float64
+}
+
+// TrainConfig configures classifier training.
+type TrainConfig struct {
+	// HiddenUnits is the size of the hidden layer.
+	HiddenUnits int
+	// Epochs is the number of passes over the training data.
+	Epochs int
+	// LearningRate is the SGD step size.
+	LearningRate float64
+	// Dropout is the probability of dropping a hidden unit during training
+	// (the paper uses 0.5 on its dense layers).
+	Dropout float64
+	// Seed makes weight initialisation and dropout deterministic.
+	Seed int64
+}
+
+// DefaultTrainConfig returns a configuration that trains quickly and
+// reliably on the synthetic screenshot corpus.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{HiddenUnits: 16, Epochs: 60, LearningRate: 0.05, Dropout: 0.2, Seed: 1}
+}
+
+// Validate reports whether the configuration is usable.
+func (c TrainConfig) Validate() error {
+	if c.HiddenUnits < 1 {
+		return errors.New("screenshot: hidden units must be positive")
+	}
+	if c.Epochs < 1 {
+		return errors.New("screenshot: epochs must be positive")
+	}
+	if c.LearningRate <= 0 {
+		return errors.New("screenshot: learning rate must be positive")
+	}
+	if c.Dropout < 0 || c.Dropout >= 1 {
+		return fmt.Errorf("screenshot: dropout %v outside [0,1)", c.Dropout)
+	}
+	return nil
+}
+
+// Train fits a classifier on the given feature vectors and binary labels
+// (true = screenshot).
+func Train(features [][]float64, labels []bool, cfg TrainConfig) (*Classifier, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(features) == 0 || len(features) != len(labels) {
+		return nil, errors.New("screenshot: features and labels must be non-empty and aligned")
+	}
+	inputDim := len(features[0])
+	for i, f := range features {
+		if len(f) != inputDim {
+			return nil, fmt.Errorf("screenshot: feature vector %d has length %d, want %d", i, len(f), inputDim)
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	c := &Classifier{
+		inputDim:  inputDim,
+		hiddenDim: cfg.HiddenUnits,
+		w1:        make([][]float64, cfg.HiddenUnits),
+		b1:        make([]float64, cfg.HiddenUnits),
+		w2:        make([]float64, cfg.HiddenUnits),
+	}
+	scale := 1.0 / math.Sqrt(float64(inputDim))
+	for h := range c.w1 {
+		c.w1[h] = make([]float64, inputDim)
+		for i := range c.w1[h] {
+			c.w1[h][i] = rng.NormFloat64() * scale
+		}
+		c.w2[h] = rng.NormFloat64() / math.Sqrt(float64(cfg.HiddenUnits))
+	}
+
+	order := rng.Perm(len(features))
+	hidden := make([]float64, cfg.HiddenUnits)
+	dropped := make([]bool, cfg.HiddenUnits)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		// Reshuffle each epoch.
+		for i := len(order) - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			order[i], order[j] = order[j], order[i]
+		}
+		for _, idx := range order {
+			x := features[idx]
+			y := 0.0
+			if labels[idx] {
+				y = 1
+			}
+			// Forward pass with dropout on the hidden layer.
+			keepScale := 1.0
+			if cfg.Dropout > 0 {
+				keepScale = 1 / (1 - cfg.Dropout)
+			}
+			for h := 0; h < cfg.HiddenUnits; h++ {
+				dropped[h] = cfg.Dropout > 0 && rng.Float64() < cfg.Dropout
+				if dropped[h] {
+					hidden[h] = 0
+					continue
+				}
+				z := c.b1[h]
+				for i, xi := range x {
+					z += c.w1[h][i] * xi
+				}
+				hidden[h] = relu(z) * keepScale
+			}
+			z2 := c.b2
+			for h := 0; h < cfg.HiddenUnits; h++ {
+				z2 += c.w2[h] * hidden[h]
+			}
+			p := sigmoid(z2)
+
+			// Backward pass (cross-entropy loss).
+			dz2 := p - y
+			c.b2 -= cfg.LearningRate * dz2
+			for h := 0; h < cfg.HiddenUnits; h++ {
+				if dropped[h] {
+					continue
+				}
+				gradW2 := dz2 * hidden[h]
+				dHidden := dz2 * c.w2[h]
+				c.w2[h] -= cfg.LearningRate * gradW2
+				if hidden[h] <= 0 {
+					continue // ReLU gate
+				}
+				dz1 := dHidden * keepScale
+				c.b1[h] -= cfg.LearningRate * dz1
+				for i, xi := range x {
+					c.w1[h][i] -= cfg.LearningRate * dz1 * xi
+				}
+			}
+		}
+	}
+	return c, nil
+}
+
+// Probability returns the estimated probability that the feature vector
+// belongs to a screenshot.
+func (c *Classifier) Probability(features []float64) float64 {
+	if len(features) != c.inputDim {
+		return 0
+	}
+	z2 := c.b2
+	for h := 0; h < c.hiddenDim; h++ {
+		z := c.b1[h]
+		for i, xi := range features {
+			z += c.w1[h][i] * xi
+		}
+		z2 += c.w2[h] * relu(z)
+	}
+	return sigmoid(z2)
+}
+
+// Predict classifies a feature vector with a 0.5 decision threshold.
+func (c *Classifier) Predict(features []float64) bool {
+	return c.Probability(features) >= 0.5
+}
+
+func relu(x float64) float64 {
+	if x > 0 {
+		return x
+	}
+	return 0
+}
+
+func sigmoid(x float64) float64 {
+	return 1 / (1 + math.Exp(-x))
+}

@@ -1,0 +1,180 @@
+// Package memes is the public API of the meme-tracking pipeline described in
+// "On the Origins of Memes by Means of Fringe Web Communities" (IMC 2018).
+//
+// The package wraps the internal building blocks into a small, stable
+// surface:
+//
+//   - GenerateDataset / LoadDataset build or load a synthetic multi-community
+//     corpus with a Know Your Meme-style annotation site (the stand-in for
+//     the paper's 160M crawled images — see DESIGN.md for the substitution
+//     rationale).
+//   - Run executes the processing pipeline (pHash clustering of the fringe
+//     communities, screenshot filtering, KYM annotation, and association of
+//     posts from every community to the annotated clusters).
+//   - NewReport regenerates every table and figure of the paper's evaluation
+//     from a pipeline result.
+//   - HashImage, NewMetric, FitHawkes, and TrainScreenshotClassifier expose
+//     the individual algorithmic components for standalone use.
+//
+// See the examples directory for runnable end-to-end programs.
+package memes
+
+import (
+	"image"
+
+	"github.com/memes-pipeline/memes/internal/analysis"
+	"github.com/memes-pipeline/memes/internal/annotate"
+	"github.com/memes-pipeline/memes/internal/dataset"
+	"github.com/memes-pipeline/memes/internal/distance"
+	"github.com/memes-pipeline/memes/internal/hawkes"
+	"github.com/memes-pipeline/memes/internal/phash"
+	"github.com/memes-pipeline/memes/internal/pipeline"
+	"github.com/memes-pipeline/memes/internal/screenshot"
+)
+
+// Hash is a 64-bit DCT perceptual hash of an image.
+type Hash = phash.Hash
+
+// HashImage computes the perceptual hash of an image (Step 1 of the
+// pipeline).
+func HashImage(img image.Image) (Hash, error) { return phash.FromImage(img) }
+
+// HashDistance returns the Hamming distance between two perceptual hashes.
+func HashDistance(a, b Hash) int { return phash.Distance(a, b) }
+
+// Community identifies one of the five Web communities of the study.
+type Community = dataset.Community
+
+// The five communities, in Hawkes process-index order.
+const (
+	Pol       = dataset.Pol
+	Reddit    = dataset.Reddit
+	Twitter   = dataset.Twitter
+	Gab       = dataset.Gab
+	TheDonald = dataset.TheDonald
+)
+
+// Dataset is a generated or loaded corpus of posts plus its annotation site.
+type Dataset = dataset.Dataset
+
+// DatasetConfig controls synthetic corpus generation.
+type DatasetConfig = dataset.Config
+
+// DefaultDatasetConfig returns the paper-profile corpus configuration.
+func DefaultDatasetConfig() DatasetConfig { return dataset.DefaultConfig() }
+
+// SmallDatasetConfig returns a miniature corpus configuration that runs in
+// well under a second; useful for tests and demos.
+func SmallDatasetConfig() DatasetConfig { return dataset.SmallConfig() }
+
+// GenerateDataset synthesises a corpus.
+func GenerateDataset(cfg DatasetConfig) (*Dataset, error) { return dataset.Generate(cfg) }
+
+// LoadDataset loads a corpus previously written with (*Dataset).Save.
+func LoadDataset(dir string) (*Dataset, error) { return dataset.Load(dir) }
+
+// AnnotationSite is a Know Your Meme-style annotation site.
+type AnnotationSite = annotate.Site
+
+// KYMEntry is a single annotation-site entry.
+type KYMEntry = annotate.Entry
+
+// PipelineConfig holds the pipeline's tunable thresholds.
+type PipelineConfig = pipeline.Config
+
+// DefaultPipelineConfig returns the paper's thresholds (DBSCAN eps=8,
+// minPts=5, annotation/association threshold 8).
+func DefaultPipelineConfig() PipelineConfig { return pipeline.DefaultConfig() }
+
+// Result is the output of the pipeline: per-community clusterings, annotated
+// clusters, and post-to-cluster associations.
+type Result = pipeline.Result
+
+// ClusterInfo describes one cluster: its fringe community, medoid, size, and
+// KYM annotation.
+type ClusterInfo = pipeline.ClusterInfo
+
+// Run executes the processing pipeline over a dataset and an annotation
+// site. Use ds.Site(true) for a site with screenshots already filtered, or
+// FilterSiteWithClassifier to run the learned screenshot filter.
+func Run(ds *Dataset, site *AnnotationSite, cfg PipelineConfig) (*Result, error) {
+	return pipeline.Run(ds, site, cfg)
+}
+
+// Metric is the custom inter-cluster distance metric of Section 2.3.
+type Metric = distance.Metric
+
+// ClusterFeatures is the per-cluster feature set the metric consumes.
+type ClusterFeatures = distance.ClusterFeatures
+
+// NewMetric builds the custom distance metric with the paper's defaults
+// (tau=25, full-mode weights 0.4/0.4/0.1/0.1).
+func NewMetric() (*Metric, error) { return distance.New() }
+
+// PerceptualSimilarity evaluates the exponential-decay perceptual similarity
+// (Eq. 2) for a Hamming distance d and smoother tau.
+func PerceptualSimilarity(d int, tau float64) float64 {
+	return distance.PerceptualSimilarity(d, tau)
+}
+
+// Report regenerates the paper's tables and figures from a pipeline result.
+type Report = analysis.Report
+
+// NewReport builds a report generator.
+func NewReport(res *Result) (*Report, error) { return analysis.NewReport(res) }
+
+// MemeGroup selects a subset of memes (all, racist, political, ...).
+type MemeGroup = analysis.MemeGroup
+
+// Meme groups accepted by the influence and temporal analyses.
+const (
+	AllMemes          = analysis.AllMemes
+	RacistMemes       = analysis.RacistMemes
+	NonRacistMemes    = analysis.NonRacistMemes
+	PoliticalMemes    = analysis.PoliticalMemes
+	NonPoliticalMemes = analysis.NonPoliticalMemes
+)
+
+// InfluenceResult holds the raw and normalized influence matrices of
+// Figures 11-16.
+type InfluenceResult = analysis.InfluenceResult
+
+// EstimateInfluence fits per-meme Hawkes models and aggregates them into the
+// community-to-community influence matrices for the given meme group.
+func EstimateInfluence(res *Result, group MemeGroup) (*InfluenceResult, error) {
+	return analysis.EstimateInfluence(res, group, analysis.DefaultInfluenceConfig())
+}
+
+// HawkesModel is a multivariate Hawkes process with exponential kernels.
+type HawkesModel = hawkes.Model
+
+// HawkesEvent is a single event of a multivariate Hawkes process.
+type HawkesEvent = hawkes.Event
+
+// FitHawkes estimates a multivariate Hawkes model from events observed on k
+// processes over the window [0, horizon).
+func FitHawkes(events []HawkesEvent, k int, horizon float64) (*hawkes.FitResult, error) {
+	return hawkes.Fit(events, hawkes.DefaultFitConfig(k, horizon))
+}
+
+// AttributeRootCauses computes, for every event of a fitted model, the
+// probability distribution over the processes that are its root cause.
+func AttributeRootCauses(fit *hawkes.FitResult) (*hawkes.Attribution, error) {
+	return hawkes.Attribute(fit)
+}
+
+// ScreenshotClassifier is the learned filter that removes social-network
+// screenshots from annotation-site galleries (Step 4).
+type ScreenshotClassifier = screenshot.Classifier
+
+// TrainScreenshotClassifier trains the screenshot classifier on a synthetic
+// corpus and returns it together with its held-out evaluation (Figure 19).
+func TrainScreenshotClassifier() (*screenshot.ExperimentResult, error) {
+	return screenshot.RunExperiment(screenshot.DefaultCorpusConfig(), screenshot.DefaultTrainConfig())
+}
+
+// IsScreenshot reports whether the classifier judges the image to be a
+// social-network screenshot.
+func IsScreenshot(clf *ScreenshotClassifier, img image.Image) bool {
+	return clf.Predict(screenshot.Features(img))
+}
