@@ -10,6 +10,7 @@ package memes
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -432,6 +433,37 @@ func BenchmarkAppendixB_AnnotationQuality(b *testing.B) {
 }
 
 // --- Performance and ablations ----------------------------------------------
+
+// BenchmarkPipelineRun measures the full Steps 2-6 engine at one worker
+// versus the machine's full worker pool; the ratio of the two is the
+// parallel speedup tracked in the perf trajectory. Both variants produce
+// bitwise-identical results (see pipeline's determinism test).
+func BenchmarkPipelineRun(b *testing.B) {
+	st := getBench(b)
+	site, err := st.ds.Site(true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	workerCounts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers_%d", workers), func(b *testing.B) {
+			cfg := pipeline.DefaultConfig()
+			cfg.Workers = workers
+			var res *pipeline.Result
+			for i := 0; i < b.N; i++ {
+				res, err = pipeline.Run(st.ds, site, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.Stats.ImagesPerSec(), "images_per_sec")
+			b.ReportMetric(float64(len(res.Clusters)), "clusters")
+		})
+	}
+}
 
 // BenchmarkPerf_AssociationThroughput measures the Step 6 association rate
 // (images per second), the quantity the paper reports as ~73 images/sec on

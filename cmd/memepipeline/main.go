@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	memepipeline -in ./corpus [-eps 8] [-theta 8] [-graph graph.json]
+//	memepipeline -in ./corpus [-eps 8] [-theta 8] [-workers N] [-graph graph.json]
 package main
 
 import (
@@ -23,6 +23,7 @@ func main() {
 	in := flag.String("in", "corpus", "input corpus directory (written by memegen)")
 	eps := flag.Int("eps", 8, "DBSCAN clustering threshold")
 	theta := flag.Int("theta", 8, "annotation/association Hamming threshold")
+	workers := flag.Int("workers", 0, "worker pool size for every pipeline stage (0 = GOMAXPROCS)")
 	graphOut := flag.String("graph", "", "optional path to write the Figure 7 cluster graph as JSON")
 	flag.Parse()
 
@@ -38,12 +39,15 @@ func main() {
 	cfg.Clustering.Eps = *eps
 	cfg.AnnotationThreshold = *theta
 	cfg.AssociationThreshold = *theta
+	cfg.Workers = *workers
 
 	res, err := pipeline.Run(ds, site, cfg)
 	if err != nil {
 		log.Fatalf("running pipeline: %v", err)
 	}
 
+	// Timing goes to stderr so stdout stays a reproducible summary.
+	fmt.Fprintln(os.Stderr, res.Stats)
 	fmt.Println("Clustering (Table 2):")
 	for _, row := range analysis.ClusteringStats(res) {
 		fmt.Printf("  %-12s images=%-7d noise=%.0f%% clusters=%-5d annotated=%d (%.0f%%)\n",

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	memereport [-in ./corpus] [-profile paper|small] [-out report.txt]
+//	memereport [-in ./corpus] [-profile paper|small] [-workers N] [-out report.txt]
 //
 // When -in is given the corpus is loaded from disk; otherwise one is
 // generated in memory with the selected profile.
@@ -24,6 +24,7 @@ import (
 func main() {
 	in := flag.String("in", "", "corpus directory written by memegen (empty: generate in memory)")
 	profile := flag.String("profile", "paper", "dataset profile when generating: paper or small")
+	workers := flag.Int("workers", 0, "worker pool size for every pipeline stage (0 = GOMAXPROCS)")
 	out := flag.String("out", "", "write the report to this file instead of stdout")
 	flag.Parse()
 
@@ -47,10 +48,14 @@ func main() {
 	if err != nil {
 		log.Fatalf("building annotation site: %v", err)
 	}
-	res, err := pipeline.Run(ds, site, pipeline.DefaultConfig())
+	cfg := pipeline.DefaultConfig()
+	cfg.Workers = *workers
+	res, err := pipeline.Run(ds, site, cfg)
 	if err != nil {
 		log.Fatalf("running pipeline: %v", err)
 	}
+	// Timing goes to stderr so -out / stdout stay a clean report.
+	fmt.Fprintln(os.Stderr, res.Stats)
 	rep, err := analysis.NewReport(res)
 	if err != nil {
 		log.Fatalf("building report: %v", err)

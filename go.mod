@@ -1,0 +1,3 @@
+module github.com/memes-pipeline/memes
+
+go 1.24

@@ -228,11 +228,9 @@ func (r *Report) RenderFigure4() (string, error) {
 }
 
 func renderPercentMap(m map[string]float64) string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return m[keys[i]] > m[keys[j]] })
+	// Stable sort over key-ordered input: ties render alphabetically.
+	keys := sortedKeys(m)
+	sort.SliceStable(keys, func(i, j int) bool { return m[keys[i]] > m[keys[j]] })
 	parts := make([]string, len(keys))
 	for i, k := range keys {
 		parts[i] = fmt.Sprintf("%s %.1f%%", k, m[k])
@@ -259,15 +257,28 @@ func (r *Report) RenderFigure5() (string, error) {
 		return "", err
 	}
 	var b strings.Builder
-	for comm, s := range cdfs.EntriesPerCluster {
+	for _, comm := range sortedKeys(cdfs.EntriesPerCluster) {
+		s := cdfs.EntriesPerCluster[comm]
 		b.WriteString(fmt.Sprintf("%s: KYM entries per cluster, %d distinct values, P[1 entry]=%.2f\n",
 			comm, len(s.X), firstY(s)))
 	}
-	for comm, s := range cdfs.ClustersPerEntry {
+	for _, comm := range sortedKeys(cdfs.ClustersPerEntry) {
+		s := cdfs.ClustersPerEntry[comm]
 		b.WriteString(fmt.Sprintf("%s: clusters per KYM entry, %d distinct values, P[1 cluster]=%.2f\n",
 			comm, len(s.X), firstY(s)))
 	}
 	return b.String(), nil
+}
+
+// sortedKeys returns the map's keys in ascending order, so report sections
+// built from maps render deterministically.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func firstY(s Series) float64 {

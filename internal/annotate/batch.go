@@ -1,0 +1,17 @@
+package annotate
+
+import (
+	"github.com/memes-pipeline/memes/internal/parallel"
+	"github.com/memes-pipeline/memes/internal/phash"
+)
+
+// AnnotateBatch annotates many cluster medoids concurrently (Step 5 as a
+// batch). The site's BK-tree index is read-only after construction, so the
+// radius queries fan out across a worker pool (workers <= 0 means
+// GOMAXPROCS); results are returned in medoid order and are identical to
+// calling Annotate sequentially.
+func (s *Site) AnnotateBatch(medoids []phash.Hash, threshold, workers int) []Annotation {
+	return parallel.Map(len(medoids), workers, func(i int) Annotation {
+		return s.Annotate(medoids[i], threshold)
+	})
+}

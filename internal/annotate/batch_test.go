@@ -1,0 +1,37 @@
+package annotate
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/memes-pipeline/memes/internal/phash"
+)
+
+func TestAnnotateBatchMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	site, err := NewSite(testEntries(rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var medoids []phash.Hash
+	for _, e := range site.Entries() {
+		for _, h := range e.Gallery {
+			medoids = append(medoids, perturb(rng, h, 2))
+		}
+	}
+	medoids = append(medoids, phash.Hash(rng.Uint64())) // likely no match
+	want := make([]Annotation, len(medoids))
+	for i, m := range medoids {
+		want[i] = site.Annotate(m, DefaultThreshold)
+	}
+	for _, workers := range []int{0, 1, 4} {
+		got := site.AnnotateBatch(medoids, DefaultThreshold, workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: AnnotateBatch diverges from sequential Annotate", workers)
+		}
+	}
+	if got := site.AnnotateBatch(nil, DefaultThreshold, 4); len(got) != 0 {
+		t.Fatalf("empty batch returned %d annotations", len(got))
+	}
+}

@@ -6,8 +6,8 @@ package cluster
 
 import (
 	"fmt"
-	"sort"
 
+	"github.com/memes-pipeline/memes/internal/parallel"
 	"github.com/memes-pipeline/memes/internal/phash"
 )
 
@@ -174,22 +174,45 @@ func DBSCAN(hashes []phash.Hash, counts []int, cfg DBSCANConfig) (Result, error)
 // Ties are broken by the lowest index for determinism. The second return
 // value is false when members is empty.
 func Medoid(hashes []phash.Hash, members []int) (int, bool) {
+	return MedoidParallel(hashes, members, 1)
+}
+
+// MedoidParallel is Medoid with the outer candidate loop spread across a
+// worker pool (workers <= 0 means GOMAXPROCS). The member hashes are first
+// gathered into a contiguous popcount-friendly []uint64 block so the O(k²)
+// inner loop runs over sequential memory with a single XOR+popcount per
+// pair instead of chasing the cluster's member indirection. The result is
+// identical to Medoid for every worker count.
+func MedoidParallel(hashes []phash.Hash, members []int, workers int) (int, bool) {
 	if len(members) == 0 {
 		return 0, false
 	}
 	if len(members) == 1 {
 		return members[0], true
 	}
-	bestIdx := members[0]
-	bestCost := int64(1) << 62
-	for _, i := range members {
+	// Contiguous layout: hs[p] is the hash of members[p], so the inner loop
+	// runs a sequential XOR+popcount scan instead of chasing member indexes.
+	hs := make([]phash.Hash, len(members))
+	for p, i := range members {
+		hs[p] = hashes[i]
+	}
+	costs := make([]int64, len(members))
+	parallel.For(len(members), workers, func(p int) {
+		h := hs[p]
 		var cost int64
-		for _, j := range members {
-			d := int64(phash.Distance(hashes[i], hashes[j]))
+		for _, other := range hs {
+			d := int64(phash.Distance(h, other))
 			cost += d * d
 		}
-		if cost < bestCost || (cost == bestCost && i < bestIdx) {
-			bestCost = cost
+		costs[p] = cost
+	})
+	// The reduction runs serially over the precomputed costs, so the
+	// lowest-index tie-break matches the sequential implementation exactly.
+	bestIdx := members[0]
+	bestCost := int64(1) << 62
+	for p, i := range members {
+		if costs[p] < bestCost || (costs[p] == bestCost && i < bestIdx) {
+			bestCost = costs[p]
 			bestIdx = i
 		}
 	}
@@ -211,14 +234,49 @@ type Cluster struct {
 // Materialize converts a DBSCAN result into a slice of Cluster values with
 // medoids computed, ordered by label. counts may be nil (unit weights).
 func Materialize(hashes []phash.Hash, counts []int, res Result) []Cluster {
+	return MaterializeParallel(hashes, counts, res, 1)
+}
+
+// MaterializeParallel is Materialize with medoid computation spread across a
+// worker pool (workers <= 0 means GOMAXPROCS). Clusters are materialised
+// concurrently and each cluster's medoid search is itself parallelised for
+// large clusters, but the returned slice is ordered by label and identical
+// to Materialize for every worker count.
+func MaterializeParallel(hashes []phash.Hash, counts []int, res Result, workers int) []Cluster {
 	members := res.Members()
-	out := make([]Cluster, 0, len(members))
+	// Split the worker budget between the two nesting levels so the total
+	// number of CPU-bound goroutines stays ~workers: the cluster-level
+	// fan-out uses up to `concurrent` workers, and each of those hands the
+	// leftover budget to the O(k²) medoid scan of large clusters. With many
+	// clusters the outer level saturates and medoids run serially; with a
+	// few huge clusters the budget flows inward instead.
+	labels := make([]int, 0, len(members))
 	for label, m := range members {
-		if len(m) == 0 {
-			continue
+		if len(m) > 0 {
+			labels = append(labels, label)
 		}
-		sort.Ints(m)
-		medoid, _ := Medoid(hashes, m)
+	}
+	resolved := parallel.Workers(workers)
+	concurrent := resolved
+	if concurrent > len(labels) {
+		concurrent = len(labels)
+	}
+	medoidBudget := 1
+	if concurrent > 0 {
+		medoidBudget = resolved / concurrent
+		if medoidBudget < 1 {
+			medoidBudget = 1
+		}
+	}
+	return parallel.Map(len(labels), resolved, func(li int) Cluster {
+		label := labels[li]
+		// Members() returns each slice already in ascending index order.
+		m := members[label]
+		medoidWorkers := 1
+		if len(m) >= 256 {
+			medoidWorkers = medoidBudget
+		}
+		medoid, _ := MedoidParallel(hashes, m, medoidWorkers)
 		size := 0
 		for _, i := range m {
 			if counts == nil {
@@ -227,13 +285,12 @@ func Materialize(hashes []phash.Hash, counts []int, res Result) []Cluster {
 				size += counts[i]
 			}
 		}
-		out = append(out, Cluster{
+		return Cluster{
 			Label:      label,
 			Members:    m,
 			Medoid:     medoid,
 			MedoidHash: hashes[medoid],
 			Size:       size,
-		})
-	}
-	return out
+		}
+	})
 }

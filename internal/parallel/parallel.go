@@ -1,0 +1,125 @@
+// Package parallel provides the small, deterministic concurrency primitives
+// shared by the pipeline stages: worker-count resolution, a parallel
+// for-loop, an ordered parallel map, and an ordered chunked map.
+//
+// Every primitive writes each result to a slot determined solely by the
+// input index, so output order never depends on goroutine scheduling: a run
+// with one worker and a run with N workers produce identical results. That
+// property is what lets the pipeline engine fan Steps 2-6 out across cores
+// while keeping Result bitwise-reproducible.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a configured worker count: n when positive, otherwise
+// runtime.GOMAXPROCS(0).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs fn(i) for every i in [0, n) across at most workers goroutines
+// (Workers-resolved). Indexes are handed out dynamically, so uneven work
+// per index balances across workers. fn must be safe to call concurrently.
+func For(n, workers int, fn func(i int)) {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if n == 0 {
+		return
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map applies fn to every index in [0, n) concurrently and returns the
+// results in index order.
+func Map[R any](n, workers int, fn func(i int) R) []R {
+	out := make([]R, n)
+	For(n, workers, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// MapErr is Map for fallible functions. All indexes are processed even when
+// some fail; the error returned is the one with the lowest index, so the
+// reported failure does not depend on scheduling.
+func MapErr[R any](n, workers int, fn func(i int) (R, error)) ([]R, error) {
+	out := make([]R, n)
+	errs := make([]error, n)
+	For(n, workers, func(i int) { out[i], errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ChunkSize returns the contiguous chunk length used to split n items across
+// workers with a few chunks per worker for load balancing. The result is
+// always at least 1.
+func ChunkSize(n, workers int) int {
+	workers = Workers(workers)
+	chunk := (n + workers*4 - 1) / (workers * 4)
+	if chunk < 1 {
+		chunk = 1
+	}
+	return chunk
+}
+
+// MapChunks splits [0, n) into contiguous chunks, applies fn to each chunk
+// concurrently, and concatenates the per-chunk results in chunk order.
+// Because chunks are contiguous and concatenation follows chunk order, a
+// fn that emits results in ascending index order yields a fully ordered
+// concatenation with no sort.
+func MapChunks[R any](n, workers int, fn func(lo, hi int) []R) []R {
+	if n == 0 {
+		return nil
+	}
+	chunk := ChunkSize(n, workers)
+	numChunks := (n + chunk - 1) / chunk
+	parts := Map(numChunks, workers, func(c int) []R {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		return fn(lo, hi)
+	})
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]R, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}

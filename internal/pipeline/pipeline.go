@@ -8,20 +8,26 @@
 //	Step 5   cluster annotation against the KYM site
 //	Step 6   association of images from all communities to annotated clusters
 //	Step 7   analysis and influence estimation (package analysis)
+//
+// The engine is a staged concurrent pipeline: Steps 2-3 fan out across the
+// fringe communities (and across clusters within a community), Step 5
+// batch-annotates every medoid concurrently, and Step 6 streams post chunks
+// through a worker pool. Every stage merges its results in a fixed order, so
+// Result is identical for any Config.Workers value; Result.Stats records the
+// per-stage wall time.
 package pipeline
 
 import (
 	"errors"
 	"fmt"
 	"image"
-	"runtime"
-	"sort"
-	"sync"
+	"time"
 
 	"github.com/memes-pipeline/memes/internal/annotate"
 	"github.com/memes-pipeline/memes/internal/cluster"
 	"github.com/memes-pipeline/memes/internal/dataset"
 	"github.com/memes-pipeline/memes/internal/distance"
+	"github.com/memes-pipeline/memes/internal/parallel"
 	"github.com/memes-pipeline/memes/internal/phash"
 )
 
@@ -36,8 +42,9 @@ type Config struct {
 	// AssociationThreshold is θ for matching posts from any community
 	// against annotated cluster medoids (Step 6).
 	AssociationThreshold int
-	// Workers bounds the number of concurrent workers used for association;
-	// zero means GOMAXPROCS.
+	// Workers bounds the number of concurrent workers used by every stage;
+	// zero means GOMAXPROCS. The pipeline output is identical for any
+	// worker count.
 	Workers int
 }
 
@@ -158,8 +165,12 @@ type Result struct {
 	PerCommunity map[dataset.Community]CommunityClustering
 	// Clusters lists every cluster across the fringe communities.
 	Clusters []ClusterInfo
-	// Associations links posts from all communities to annotated clusters.
+	// Associations links posts from all communities to annotated clusters,
+	// sorted by post index.
 	Associations []Association
+	// Stats records the per-stage wall time and throughput of the run. It is
+	// the only Result field that varies between runs on identical inputs.
+	Stats RunStats
 }
 
 // AnnotatedClusters returns the indexes of clusters with a KYM annotation.
@@ -173,9 +184,24 @@ func (r *Result) AnnotatedClusters() []int {
 	return out
 }
 
+// communityPartial is the Steps 2-3 output for one fringe community before
+// annotation and ID assignment. hashes/counts/dbres carry the DBSCAN output
+// to the materialise phase; clusters is filled there.
+type communityPartial struct {
+	summary  CommunityClustering
+	hashes   []phash.Hash
+	counts   []int
+	dbres    cluster.Result
+	clusters []cluster.Cluster
+}
+
 // Run executes Steps 1-6 over a generated dataset and an annotation site.
 // The site should already have screenshots removed (Step 4); use
 // dataset.Dataset.Site(true) or a screenshot.Classifier-based filter.
+//
+// The stages run concurrently on Config.Workers workers, but the returned
+// Result (clusters, IDs, associations, summaries) is identical for every
+// worker count.
 func Run(ds *dataset.Dataset, site *annotate.Site, cfg Config) (*Result, error) {
 	if ds == nil || site == nil {
 		return nil, errors.New("pipeline: nil dataset or site")
@@ -189,32 +215,121 @@ func Run(ds *dataset.Dataset, site *annotate.Site, cfg Config) (*Result, error) 
 		Site:         site,
 		PerCommunity: make(map[dataset.Community]CommunityClustering),
 	}
+	workers := parallel.Workers(cfg.Workers)
+	res.Stats.Workers = workers
+	start := time.Now()
 
-	// Steps 2-3 + 5: cluster each fringe community and annotate the medoids.
+	var fringe []dataset.Community
 	for _, comm := range dataset.Communities() {
-		if !comm.Fringe() {
-			continue
-		}
-		if err := res.clusterCommunity(comm); err != nil {
-			return nil, fmt.Errorf("pipeline: clustering %v: %w", comm, err)
+		if comm.Fringe() {
+			fringe = append(fringe, comm)
 		}
 	}
+
+	// Steps 2-3 run in two phases so total CPU-bound concurrency never
+	// exceeds the configured worker bound while skewed community sizes
+	// (/pol/ dominates) still saturate the pool. Phase one: DBSCAN every
+	// fringe community concurrently (the fan-out itself is capped at
+	// `workers`). Phase two: materialise medoids one community at a time,
+	// each with the full budget. Partials are indexed by the fixed
+	// dataset.Communities() order, so the merge below assigns the same
+	// cluster IDs for any worker count.
+	stageStart := time.Now()
+	partials, err := parallel.MapErr(len(fringe), workers, func(i int) (communityPartial, error) {
+		p, err := clusterCommunity(ds, fringe[i], cfg)
+		if err != nil {
+			return communityPartial{}, fmt.Errorf("pipeline: clustering %v: %w", fringe[i], err)
+		}
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	fringeImages, totalClusters := 0, 0
+	for i := range partials {
+		p := &partials[i]
+		if len(p.hashes) > 0 {
+			p.clusters = cluster.MaterializeParallel(p.hashes, p.counts, p.dbres, workers)
+			p.summary.Clusters = len(p.clusters)
+		}
+		fringeImages += p.summary.Images
+		totalClusters += len(p.clusters)
+	}
+	res.Stats.addStage(StageCluster, time.Since(stageStart), fringeImages)
+
+	// Step 5: batch-annotate every medoid across all communities at once.
+	stageStart = time.Now()
+	medoids := make([]phash.Hash, 0, totalClusters)
+	for _, p := range partials {
+		for _, c := range p.clusters {
+			medoids = append(medoids, c.MedoidHash)
+		}
+	}
+	annotations := res.Site.AnnotateBatch(medoids, cfg.AnnotationThreshold, workers)
+
+	// Merge in fixed community order, assigning stable cluster IDs.
+	at := 0
+	for pi, p := range partials {
+		summary := p.summary
+		for _, c := range p.clusters {
+			ann := annotations[at]
+			at++
+			info := ClusterInfo{
+				ID:             len(res.Clusters),
+				Community:      fringe[pi],
+				Label:          c.Label,
+				MedoidHash:     c.MedoidHash,
+				Images:         c.Size,
+				DistinctHashes: len(c.Members),
+				Annotation:     ann,
+			}
+			for _, m := range ann.Matches {
+				if m.Entry.IsRacist() {
+					info.Racist = true
+				}
+				if m.Entry.IsPolitical() {
+					info.Political = true
+				}
+			}
+			if ann.Annotated() {
+				summary.Annotated++
+			}
+			res.Clusters = append(res.Clusters, info)
+		}
+		res.PerCommunity[fringe[pi]] = summary
+	}
+	res.Stats.addStage(StageAnnotate, time.Since(stageStart), totalClusters)
 
 	// Step 6: associate posts from every community with annotated clusters.
-	if err := res.associate(); err != nil {
-		return nil, fmt.Errorf("pipeline: association: %w", err)
+	imagePosts := 0
+	for i := range ds.Posts {
+		if ds.Posts[i].HasImage {
+			imagePosts++
+		}
 	}
+	stageStart = time.Now()
+	res.associate()
+	res.Stats.addStage(StageAssociate, time.Since(stageStart), imagePosts)
+
+	res.Stats.Total = time.Since(start)
+	res.Stats.FringeImages = fringeImages
+	res.Stats.TotalImages = imagePosts
+	res.Stats.Clusters = len(res.Clusters)
+	res.Stats.AnnotatedClusters = len(res.AnnotatedClusters())
+	res.Stats.Associations = len(res.Associations)
 	return res, nil
 }
 
-// clusterCommunity performs Steps 2-3 and 5 for one fringe community.
-func (r *Result) clusterCommunity(comm dataset.Community) error {
+// clusterCommunity performs the first phase of Steps 2-3 for one fringe
+// community: distinct-hash extraction and DBSCAN. Medoid materialisation
+// happens afterwards in Run, one community at a time.
+func clusterCommunity(ds *dataset.Dataset, comm dataset.Community, cfg Config) (communityPartial, error) {
 	// Distinct hashes and their occurrence counts within this community.
 	var hashes []phash.Hash
 	var counts []int
 	index := make(map[phash.Hash]int)
 	images := 0
-	for _, p := range r.Dataset.Posts {
+	for _, p := range ds.Posts {
 		if !p.HasImage || p.Community != comm {
 			continue
 		}
@@ -231,161 +346,80 @@ func (r *Result) clusterCommunity(comm dataset.Community) error {
 
 	summary := CommunityClustering{Community: comm, Images: images, DistinctHashes: len(hashes)}
 	if len(hashes) == 0 {
-		r.PerCommunity[comm] = summary
-		return nil
+		return communityPartial{summary: summary}, nil
 	}
 
-	dbres, err := cluster.DBSCAN(hashes, counts, r.Config.Clustering)
+	dbres, err := cluster.DBSCAN(hashes, counts, cfg.Clustering)
 	if err != nil {
-		return err
+		return communityPartial{}, err
 	}
-	clusters := cluster.Materialize(hashes, counts, dbres)
-	summary.Clusters = len(clusters)
 	// Noise measured in image occurrences, as in Table 2.
-	noiseImages := 0
 	for i, lbl := range dbres.Labels {
 		if lbl == cluster.Noise {
-			noiseImages += counts[i]
+			summary.NoiseImages += counts[i]
 		}
 	}
-	summary.NoiseImages = noiseImages
-
-	for _, c := range clusters {
-		ann := r.Site.Annotate(c.MedoidHash, r.Config.AnnotationThreshold)
-		info := ClusterInfo{
-			ID:             len(r.Clusters),
-			Community:      comm,
-			Label:          c.Label,
-			MedoidHash:     c.MedoidHash,
-			Images:         c.Size,
-			DistinctHashes: len(c.Members),
-			Annotation:     ann,
-		}
-		for _, m := range ann.Matches {
-			if m.Entry.IsRacist() {
-				info.Racist = true
-			}
-			if m.Entry.IsPolitical() {
-				info.Political = true
-			}
-		}
-		if ann.Annotated() {
-			summary.Annotated++
-		}
-		r.Clusters = append(r.Clusters, info)
-	}
-	r.PerCommunity[comm] = summary
-	return nil
+	return communityPartial{summary: summary, hashes: hashes, counts: counts, dbres: dbres}, nil
 }
 
 // associate implements Step 6: every image post from every community is
 // matched against the medoids of the annotated clusters; the nearest medoid
-// within the association threshold wins.
-func (r *Result) associate() error {
+// within the association threshold wins. Posts stream through the worker
+// pool in contiguous chunks whose results are concatenated in chunk order,
+// so Associations comes out sorted by post index without a sort.
+func (r *Result) associate() {
 	annotated := r.AnnotatedClusters()
 	if len(annotated) == 0 {
-		return nil
+		return
 	}
 	medoidIndex := phash.NewBKTree()
 	for _, ci := range annotated {
 		medoidIndex.Insert(r.Clusters[ci].MedoidHash, int64(ci))
 	}
 
-	workers := r.Config.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	type job struct{ lo, hi int }
-	jobs := make(chan job, workers)
-	results := make([][]Association, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for jb := range jobs {
-				for i := jb.lo; i < jb.hi; i++ {
-					p := r.Dataset.Posts[i]
-					if !p.HasImage {
-						continue
+	posts := r.Dataset.Posts
+	r.Associations = parallel.MapChunks(len(posts), r.Config.Workers, func(lo, hi int) []Association {
+		var out []Association
+		for i := lo; i < hi; i++ {
+			p := posts[i]
+			if !p.HasImage {
+				continue
+			}
+			matches := medoidIndex.Radius(p.PHash(), r.Config.AssociationThreshold)
+			if len(matches) == 0 {
+				continue
+			}
+			// Deterministic winner: the minimum distance, with ties broken by
+			// the lowest cluster ID across all matches at that distance, so the
+			// BK-tree traversal order never shows through.
+			bestDist := phash.MaxDistance + 1
+			var bestID int64
+			for _, m := range matches {
+				for _, id := range m.IDs {
+					if m.Distance < bestDist || (m.Distance == bestDist && id < bestID) {
+						bestDist, bestID = m.Distance, id
 					}
-					matches := medoidIndex.Radius(p.PHash(), r.Config.AssociationThreshold)
-					if len(matches) == 0 {
-						continue
-					}
-					best := matches[0]
-					for _, m := range matches[1:] {
-						if m.Distance < best.Distance {
-							best = m
-						}
-					}
-					// Deterministic tie-break: the lowest cluster ID at the
-					// best distance.
-					bestID := best.IDs[0]
-					for _, id := range best.IDs {
-						if id < bestID {
-							bestID = id
-						}
-					}
-					results[w] = append(results[w], Association{
-						PostIndex: i,
-						ClusterID: int(bestID),
-						Distance:  best.Distance,
-					})
 				}
 			}
-		}(w)
-	}
-	n := len(r.Dataset.Posts)
-	chunk := (n + workers*4 - 1) / (workers * 4)
-	if chunk < 1 {
-		chunk = 1
-	}
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
+			out = append(out, Association{
+				PostIndex: i,
+				ClusterID: int(bestID),
+				Distance:  bestDist,
+			})
 		}
-		jobs <- job{lo: lo, hi: hi}
-	}
-	close(jobs)
-	wg.Wait()
-
-	for _, part := range results {
-		r.Associations = append(r.Associations, part...)
-	}
-	sort.Slice(r.Associations, func(i, j int) bool {
-		return r.Associations[i].PostIndex < r.Associations[j].PostIndex
+		return out
 	})
-	return nil
 }
 
 // HashImages is the Step 1 helper for callers that hold raw images rather
 // than a generated dataset: it hashes every image concurrently and returns
 // the hashes in input order. Nil images produce an error.
 func HashImages(images []image.Image, workers int) ([]phash.Hash, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	out := make([]phash.Hash, len(images))
-	errs := make([]error, len(images))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i, img := range images {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, img image.Image) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			h, err := phash.FromImage(img)
-			out[i], errs[i] = h, err
-		}(i, img)
-	}
-	wg.Wait()
-	for i, err := range errs {
+	return parallel.MapErr(len(images), workers, func(i int) (phash.Hash, error) {
+		h, err := phash.FromImage(images[i])
 		if err != nil {
-			return nil, fmt.Errorf("pipeline: hashing image %d: %w", i, err)
+			return 0, fmt.Errorf("pipeline: hashing image %d: %w", i, err)
 		}
-	}
-	return out, nil
+		return h, nil
+	})
 }
