@@ -4,19 +4,26 @@
 //
 // Usage:
 //
-//	memepipeline -in ./corpus [-eps 8] [-theta 8] [-workers N] [-graph graph.json]
+//	memepipeline -in ./corpus [-eps 8] [-theta 8] [-workers N] [-format text|json] [-graph graph.json]
+//
+// With -format text (the default) the summary goes to stdout and the timing
+// to stderr, so stdout stays a reproducible report. With -format json one
+// JSON document carrying the full clustering/association summary plus the
+// run stats is written to stdout.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"time"
 
+	"github.com/memes-pipeline/memes"
 	"github.com/memes-pipeline/memes/internal/analysis"
-	"github.com/memes-pipeline/memes/internal/dataset"
 	"github.com/memes-pipeline/memes/internal/distance"
-	"github.com/memes-pipeline/memes/internal/pipeline"
 )
 
 func main() {
@@ -24,10 +31,14 @@ func main() {
 	eps := flag.Int("eps", 8, "DBSCAN clustering threshold")
 	theta := flag.Int("theta", 8, "annotation/association Hamming threshold")
 	workers := flag.Int("workers", 0, "worker pool size for every pipeline stage (0 = GOMAXPROCS)")
+	format := flag.String("format", "text", "output format: text or json")
 	graphOut := flag.String("graph", "", "optional path to write the Figure 7 cluster graph as JSON")
 	flag.Parse()
+	if *format != "text" && *format != "json" {
+		log.Fatalf("unknown -format %q (want text or json)", *format)
+	}
 
-	ds, err := dataset.Load(*in)
+	ds, err := memes.LoadDataset(*in)
 	if err != nil {
 		log.Fatalf("loading corpus: %v", err)
 	}
@@ -35,27 +46,34 @@ func main() {
 	if err != nil {
 		log.Fatalf("building annotation site: %v", err)
 	}
-	cfg := pipeline.DefaultConfig()
-	cfg.Clustering.Eps = *eps
-	cfg.AnnotationThreshold = *theta
-	cfg.AssociationThreshold = *theta
-	cfg.Workers = *workers
 
-	res, err := pipeline.Run(ds, site, cfg)
+	eng, err := memes.NewEngine(context.Background(), ds, site,
+		memes.WithEps(*eps),
+		memes.WithAnnotationThreshold(*theta),
+		memes.WithAssociationThreshold(*theta),
+		memes.WithWorkers(*workers))
 	if err != nil {
-		log.Fatalf("running pipeline: %v", err)
+		log.Fatalf("building engine: %v", err)
 	}
+	res := eng.Result()
 
-	// Timing goes to stderr so stdout stays a reproducible summary.
-	fmt.Fprintln(os.Stderr, res.Stats)
-	fmt.Println("Clustering (Table 2):")
-	for _, row := range analysis.ClusteringStats(res) {
-		fmt.Printf("  %-12s images=%-7d noise=%.0f%% clusters=%-5d annotated=%d (%.0f%%)\n",
-			row.Community, row.Images, row.NoisePercent, row.Clusters, row.Annotated, row.AnnotatedPerc)
-	}
-	fmt.Printf("Associations (Step 6): %d posts matched to annotated clusters\n", len(res.Associations))
-	for _, row := range analysis.EventCounts(res) {
-		fmt.Printf("  %-12s %d\n", row.Community, row.Events)
+	switch *format {
+	case "json":
+		if err := json.NewEncoder(os.Stdout).Encode(summaryDoc(res)); err != nil {
+			log.Fatalf("encoding summary: %v", err)
+		}
+	case "text":
+		// Timing goes to stderr so stdout stays a reproducible summary.
+		fmt.Fprintln(os.Stderr, res.Stats)
+		fmt.Println("Clustering (Table 2):")
+		for _, row := range analysis.ClusteringStats(res) {
+			fmt.Printf("  %-12s images=%-7d noise=%.0f%% clusters=%-5d annotated=%d (%.0f%%)\n",
+				row.Community, row.Images, row.NoisePercent, row.Clusters, row.Annotated, row.AnnotatedPerc)
+		}
+		fmt.Printf("Associations (Step 6): %d posts matched to annotated clusters\n", len(res.Associations))
+		for _, row := range analysis.EventCounts(res) {
+			fmt.Printf("  %-12s %d\n", row.Community, row.Events)
+		}
 	}
 
 	if *graphOut != "" {
@@ -74,6 +92,95 @@ func main() {
 		if err := os.WriteFile(*graphOut, data, 0o644); err != nil {
 			log.Fatalf("writing graph: %v", err)
 		}
-		fmt.Printf("wrote cluster graph (%d nodes, %d edges) to %s\n", len(g.Nodes), len(g.Edges), *graphOut)
+		fmt.Fprintf(os.Stderr, "wrote cluster graph (%d nodes, %d edges) to %s\n",
+			len(g.Nodes), len(g.Edges), *graphOut)
 	}
+}
+
+// The JSON document mirrors the text summary (clustering rows, association
+// counts) and adds the run stats, so one machine-readable object carries
+// everything a CI pipeline or dashboard needs.
+
+type clusteringJSON struct {
+	Community        string  `json:"community"`
+	Images           int     `json:"images"`
+	NoisePercent     float64 `json:"noise_percent"`
+	Clusters         int     `json:"clusters"`
+	Annotated        int     `json:"annotated"`
+	AnnotatedPercent float64 `json:"annotated_percent"`
+}
+
+type eventsJSON struct {
+	Community string `json:"community"`
+	Events    int    `json:"events"`
+}
+
+type stageJSON struct {
+	Name        string  `json:"name"`
+	DurationMS  float64 `json:"duration_ms"`
+	Items       int     `json:"items"`
+	ItemsPerSec float64 `json:"items_per_sec"`
+}
+
+type statsJSON struct {
+	Workers           int         `json:"workers"`
+	Stages            []stageJSON `json:"stages"`
+	TotalMS           float64     `json:"total_ms"`
+	FringeImages      int         `json:"fringe_images"`
+	TotalImages       int         `json:"total_images"`
+	Clusters          int         `json:"clusters"`
+	AnnotatedClusters int         `json:"annotated_clusters"`
+	Associations      int         `json:"associations"`
+	ImagesPerSec      float64     `json:"images_per_sec"`
+}
+
+type summaryJSON struct {
+	Clustering   []clusteringJSON `json:"clustering"`
+	Associations int              `json:"associations"`
+	Events       []eventsJSON     `json:"events"`
+	Stats        statsJSON        `json:"stats"`
+}
+
+func summaryDoc(res *memes.Result) summaryJSON {
+	// Slice fields start non-nil so the JSON contract is always an array,
+	// never null, even on corpora that produce no rows.
+	doc := summaryJSON{
+		Clustering:   []clusteringJSON{},
+		Events:       []eventsJSON{},
+		Associations: len(res.Associations),
+	}
+	for _, row := range analysis.ClusteringStats(res) {
+		doc.Clustering = append(doc.Clustering, clusteringJSON{
+			Community:        row.Community,
+			Images:           row.Images,
+			NoisePercent:     row.NoisePercent,
+			Clusters:         row.Clusters,
+			Annotated:        row.Annotated,
+			AnnotatedPercent: row.AnnotatedPerc,
+		})
+	}
+	for _, row := range analysis.EventCounts(res) {
+		doc.Events = append(doc.Events, eventsJSON{Community: row.Community, Events: row.Events})
+	}
+	s := res.Stats
+	doc.Stats = statsJSON{
+		Stages:            []stageJSON{},
+		Workers:           s.Workers,
+		TotalMS:           float64(s.Total) / float64(time.Millisecond),
+		FringeImages:      s.FringeImages,
+		TotalImages:       s.TotalImages,
+		Clusters:          s.Clusters,
+		AnnotatedClusters: s.AnnotatedClusters,
+		Associations:      s.Associations,
+		ImagesPerSec:      s.ImagesPerSec(),
+	}
+	for _, st := range s.Stages {
+		doc.Stats.Stages = append(doc.Stats.Stages, stageJSON{
+			Name:        st.Name,
+			DurationMS:  float64(st.Duration) / float64(time.Millisecond),
+			Items:       st.Items,
+			ItemsPerSec: st.Throughput(),
+		})
+	}
+	return doc
 }

@@ -1,6 +1,6 @@
 // Command memereport regenerates every table and figure of the paper's
-// evaluation from a corpus: it generates (or loads) a dataset, runs the
-// pipeline, and prints the full report.
+// evaluation from a corpus: it generates (or loads) a dataset, builds the
+// pipeline engine, and prints the full report.
 //
 // Usage:
 //
@@ -11,14 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
-	"github.com/memes-pipeline/memes/internal/analysis"
-	"github.com/memes-pipeline/memes/internal/dataset"
-	"github.com/memes-pipeline/memes/internal/pipeline"
+	"github.com/memes-pipeline/memes"
 )
 
 func main() {
@@ -29,17 +28,17 @@ func main() {
 	flag.Parse()
 
 	var (
-		ds  *dataset.Dataset
+		ds  *memes.Dataset
 		err error
 	)
 	if *in != "" {
-		ds, err = dataset.Load(*in)
+		ds, err = memes.LoadDataset(*in)
 	} else {
-		cfg := dataset.DefaultConfig()
+		cfg := memes.DefaultDatasetConfig()
 		if *profile == "small" {
-			cfg = dataset.SmallConfig()
+			cfg = memes.SmallDatasetConfig()
 		}
-		ds, err = dataset.Generate(cfg)
+		ds, err = memes.GenerateDataset(cfg)
 	}
 	if err != nil {
 		log.Fatalf("obtaining corpus: %v", err)
@@ -48,15 +47,14 @@ func main() {
 	if err != nil {
 		log.Fatalf("building annotation site: %v", err)
 	}
-	cfg := pipeline.DefaultConfig()
-	cfg.Workers = *workers
-	res, err := pipeline.Run(ds, site, cfg)
+	eng, err := memes.NewEngine(context.Background(), ds, site, memes.WithWorkers(*workers))
 	if err != nil {
-		log.Fatalf("running pipeline: %v", err)
+		log.Fatalf("building engine: %v", err)
 	}
+	res := eng.Result()
 	// Timing goes to stderr so -out / stdout stay a clean report.
 	fmt.Fprintln(os.Stderr, res.Stats)
-	rep, err := analysis.NewReport(res)
+	rep, err := memes.NewReport(res)
 	if err != nil {
 		log.Fatalf("building report: %v", err)
 	}

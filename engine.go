@@ -1,0 +1,197 @@
+package memes
+
+import (
+	"context"
+	"image"
+	"sync"
+
+	"github.com/memes-pipeline/memes/internal/dataset"
+	"github.com/memes-pipeline/memes/internal/phash"
+	"github.com/memes-pipeline/memes/internal/pipeline"
+)
+
+// Engine is the build-once / query-many form of the pipeline. NewEngine runs
+// the expensive offline phase (Steps 2-5: cluster the fringe communities,
+// materialise medoids, annotate them against the KYM site, and index the
+// annotated medoids) exactly once; the Engine then keeps that output
+// resident and serves any number of cheap Step 6 queries against it:
+//
+//   - Associate matches an arbitrary post batch — the posts need not be part
+//     of the original dataset — to the annotated clusters.
+//   - Match / MatchImage answer single-image lookups, the primitive a
+//     serving front-end needs.
+//   - Result materialises the legacy one-shot *Result (associating the full
+//     build dataset), so NewReport and EstimateInfluence keep working.
+//
+// All query methods are goroutine-safe: the underlying cluster list and
+// medoid index are immutable after NewEngine returns. Queries accept a
+// context.Context and stop promptly on cancellation.
+type Engine struct {
+	build  *pipeline.BuildResult
+	once   sync.Once
+	res    *Result
+	resErr error
+}
+
+// StageEvent reports the start or completion of a pipeline stage; see
+// WithProgress.
+type StageEvent = pipeline.StageEvent
+
+// ProgressFunc observes stage events during the build and during Result
+// materialisation.
+type ProgressFunc = pipeline.ProgressFunc
+
+// RunStats records per-stage wall time, throughput, and output counts; it is
+// derived from the StageEvent stream.
+type RunStats = pipeline.RunStats
+
+// StageStats records the wall-clock cost of one pipeline stage.
+type StageStats = pipeline.StageStats
+
+// Post is a single post on a Web community.
+type Post = dataset.Post
+
+// Association links one post (by index into the associated batch) to an
+// annotated cluster.
+type Association = pipeline.Association
+
+// Match is the outcome of a single-hash lookup: the winning annotated
+// cluster and its Hamming distance from the query.
+type Match = pipeline.Match
+
+// Option configures NewEngine.
+type Option func(*engineConfig)
+
+type engineConfig struct {
+	cfg      PipelineConfig
+	progress ProgressFunc
+}
+
+// WithConfig replaces the engine's entire pipeline configuration. It is
+// applied in option order, so thresholds set by earlier options are
+// overwritten; pass it first when combining with the field-level options.
+func WithConfig(cfg PipelineConfig) Option {
+	return func(o *engineConfig) { o.cfg = cfg }
+}
+
+// WithWorkers bounds the number of concurrent workers used by every build
+// stage and by Associate; zero means GOMAXPROCS. The engine's output is
+// identical for any worker count.
+func WithWorkers(n int) Option {
+	return func(o *engineConfig) { o.cfg.Workers = n }
+}
+
+// WithEps sets the DBSCAN clustering radius (Steps 2-3); the paper uses 8.
+func WithEps(eps int) Option {
+	return func(o *engineConfig) { o.cfg.Clustering.Eps = eps }
+}
+
+// WithMinPts sets the DBSCAN core-point density (Steps 2-3); the paper
+// uses 5.
+func WithMinPts(minPts int) Option {
+	return func(o *engineConfig) { o.cfg.Clustering.MinPts = minPts }
+}
+
+// WithAnnotationThreshold sets θ for matching cluster medoids against KYM
+// gallery images (Step 5).
+func WithAnnotationThreshold(theta int) Option {
+	return func(o *engineConfig) { o.cfg.AnnotationThreshold = theta }
+}
+
+// WithAssociationThreshold sets θ for matching posts against annotated
+// cluster medoids (Step 6).
+func WithAssociationThreshold(theta int) Option {
+	return func(o *engineConfig) { o.cfg.AssociationThreshold = theta }
+}
+
+// WithProgress registers an observer for per-stage progress events. The
+// function is called synchronously, in stage order, from the goroutine
+// driving the stage; it must not block for long.
+func WithProgress(fn func(StageEvent)) Option {
+	return func(o *engineConfig) { o.progress = fn }
+}
+
+// NewEngine runs the build phase (Steps 2-5) over a dataset and an
+// annotation site and returns an Engine serving queries against the result.
+// Use ds.Site(true) for a site with screenshots already filtered (Step 4).
+// The build stops promptly with ctx's error when ctx is cancelled.
+func NewEngine(ctx context.Context, ds *Dataset, site *AnnotationSite, opts ...Option) (*Engine, error) {
+	ec := engineConfig{cfg: DefaultPipelineConfig()}
+	for _, opt := range opts {
+		opt(&ec)
+	}
+	b, err := pipeline.Build(ctx, ds, site, ec.cfg, ec.progress)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{build: b}, nil
+}
+
+// Associate runs Step 6 over an arbitrary batch of posts: every image post
+// is matched against the annotated-cluster medoids, the nearest medoid
+// within the association threshold winning (ties broken by lowest cluster
+// ID). PostIndex in the returned associations indexes into posts, which come
+// out sorted by that index. Goroutine-safe; stops promptly on cancellation.
+func (e *Engine) Associate(ctx context.Context, posts []Post) ([]Association, error) {
+	return e.build.Associate(ctx, posts)
+}
+
+// Match looks a single perceptual hash up against the annotated clusters.
+// The boolean is false when no annotated medoid lies within the association
+// threshold. Goroutine-safe.
+func (e *Engine) Match(ctx context.Context, h Hash) (Match, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return Match{}, false, err
+	}
+	m, ok := e.build.Match(h)
+	return m, ok, nil
+}
+
+// MatchImage hashes an image (Step 1) and looks it up with Match.
+func (e *Engine) MatchImage(ctx context.Context, img image.Image) (Match, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return Match{}, false, err
+	}
+	h, err := phash.FromImage(img)
+	if err != nil {
+		return Match{}, false, err
+	}
+	return e.Match(ctx, h)
+}
+
+// Clusters returns every cluster of the build (Steps 2-5 output), indexed by
+// ID. The slice is shared with the engine; treat it as read-only.
+func (e *Engine) Clusters() []ClusterInfo { return e.build.Clusters }
+
+// Communities returns the fringe communities the build clustered, in the
+// fixed Communities order used everywhere else.
+func (e *Engine) Communities() []Community { return e.build.Communities() }
+
+// BuildStats returns the timing of the build phase (cluster and annotate
+// stages).
+func (e *Engine) BuildStats() RunStats { return e.build.Stats() }
+
+// Result materialises the legacy one-shot *Result by associating every post
+// of the build dataset (Step 6) and merging the build stats. The result is
+// computed once and cached; subsequent calls return the same pointer.
+// Goroutine-safe. Clusters, associations, and summaries are identical to
+// what Run produces for the same dataset and configuration.
+func (e *Engine) Result() *Result {
+	res, err := e.result()
+	if err != nil {
+		// Unreachable today: with a background context the only error
+		// source in BuildResult.Result is cancellation. Fail loudly if a
+		// future error path appears rather than handing callers a nil.
+		panic("memes: Engine.Result materialisation failed: " + err.Error())
+	}
+	return res
+}
+
+// result materialises and caches the legacy Result, keeping the error for
+// callers (Run) that can propagate it.
+func (e *Engine) result() (*Result, error) {
+	e.once.Do(func() {
+		e.res, e.resErr = e.build.Result(context.Background())
+	})
+	return e.res, e.resErr
+}

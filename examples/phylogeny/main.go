@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,10 +21,11 @@ func main() {
 	if err != nil {
 		log.Fatalf("building site: %v", err)
 	}
-	res, err := memes.Run(ds, site, memes.DefaultPipelineConfig())
+	eng, err := memes.NewEngine(context.Background(), ds, site)
 	if err != nil {
-		log.Fatalf("running pipeline: %v", err)
+		log.Fatalf("building engine: %v", err)
 	}
+	res := eng.Result()
 	metric, err := memes.NewMetric()
 	if err != nil {
 		log.Fatalf("building metric: %v", err)

@@ -1,11 +1,13 @@
-// Quickstart: generate a small corpus, run the full pipeline, and print the
-// headline numbers — clusters per fringe community, the most popular memes,
-// and which community drives the meme ecosystem.
+// Quickstart: generate a small corpus, build the pipeline engine once, and
+// print the headline numbers — clusters per fringe community, the most
+// popular memes, and which community drives the meme ecosystem.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 
 	"github.com/memes-pipeline/memes"
 )
@@ -21,24 +23,49 @@ func main() {
 		len(ds.Posts), len(ds.Memes), len(ds.KYMEntries))
 
 	// 2. Build the annotation site with screenshots already filtered
-	//    (Step 4) and run the pipeline (Steps 1-6).
+	//    (Step 4) and run the expensive build phase (Steps 2-5) once. The
+	//    progress callback watches the stages complete; timing goes to
+	//    stderr so stdout stays reproducible.
 	site, err := ds.Site(true)
 	if err != nil {
 		log.Fatalf("building annotation site: %v", err)
 	}
-	res, err := memes.Run(ds, site, memes.DefaultPipelineConfig())
+	eng, err := memes.NewEngine(context.Background(), ds, site,
+		memes.WithProgress(func(ev memes.StageEvent) {
+			if ev.Done {
+				fmt.Fprintf(os.Stderr, "stage %-10s %d items in %v\n", ev.Stage, ev.Items, ev.Duration)
+			}
+		}))
 	if err != nil {
-		log.Fatalf("running pipeline: %v", err)
+		log.Fatalf("building engine: %v", err)
 	}
+	res := eng.Result()
 
-	// 3. Inspect the clustering per fringe community.
-	for comm, summary := range res.PerCommunity {
+	// 3. Inspect the clustering per fringe community, in fixed order so the
+	//    output is reproducible run to run.
+	for _, comm := range res.Communities() {
+		summary := res.PerCommunity[comm]
 		fmt.Printf("%-12s %5d images -> %4d clusters (%.0f%% noise, %d annotated)\n",
 			comm, summary.Images, summary.Clusters, summary.NoiseFraction()*100, summary.Annotated)
 	}
 	fmt.Printf("associations: %d posts across all communities matched to memes\n", len(res.Associations))
 
-	// 4. Estimate which community drives the meme ecosystem (Section 5).
+	// 4. The engine keeps the annotated-cluster index resident, so follow-up
+	//    queries are cheap: associate a fresh batch (here, the first 100
+	//    posts again) and look a single hash up.
+	batch, err := eng.Associate(context.Background(), ds.Posts[:100])
+	if err != nil {
+		log.Fatalf("associating batch: %v", err)
+	}
+	fmt.Printf("re-associating the first 100 posts: %d matches\n", len(batch))
+	if len(res.Associations) > 0 {
+		post := ds.Posts[res.Associations[0].PostIndex]
+		if m, ok, err := eng.Match(context.Background(), post.PHash()); err == nil && ok {
+			fmt.Printf("single-image lookup: cluster %d at distance %d\n", m.ClusterID, m.Distance)
+		}
+	}
+
+	// 5. Estimate which community drives the meme ecosystem (Section 5).
 	inf, err := memes.EstimateInfluence(res, memes.AllMemes)
 	if err != nil {
 		log.Fatalf("estimating influence: %v", err)

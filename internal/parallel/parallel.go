@@ -7,9 +7,16 @@
 // with one worker and a run with N workers produce identical results. That
 // property is what lets the pipeline engine fan Steps 2-6 out across cores
 // while keeping Result bitwise-reproducible.
+//
+// Each primitive has a context-aware variant (ForCtx, MapCtx, MapErrCtx,
+// MapChunksCtx) that stops scheduling new work as soon as the context is
+// cancelled, waits for in-flight calls to return (so no goroutine outlives
+// the call), and reports the context error. The context-free forms are thin
+// wrappers over the ctx variants with context.Background().
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -28,18 +35,30 @@ func Workers(n int) int {
 // (Workers-resolved). Indexes are handed out dynamically, so uneven work
 // per index balances across workers. fn must be safe to call concurrently.
 func For(n, workers int, fn func(i int)) {
+	_ = ForCtx(context.Background(), n, workers, fn)
+}
+
+// ForCtx is For with cancellation: every worker checks ctx before picking up
+// the next index, so a cancelled context stops new work from being scheduled
+// while in-flight fn calls run to completion. ForCtx returns only after
+// every started fn has returned (no goroutine leaks) and reports ctx.Err()
+// when the context was cancelled, nil otherwise.
+func ForCtx(ctx context.Context, n, workers int, fn func(i int)) error {
 	workers = Workers(workers)
 	if workers > n {
 		workers = n
 	}
 	if n == 0 {
-		return
+		return ctx.Err()
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return ctx.Err()
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -47,7 +66,7 @@ func For(n, workers int, fn func(i int)) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -57,23 +76,41 @@ func For(n, workers int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // Map applies fn to every index in [0, n) concurrently and returns the
 // results in index order.
 func Map[R any](n, workers int, fn func(i int) R) []R {
-	out := make([]R, n)
-	For(n, workers, func(i int) { out[i] = fn(i) })
+	out, _ := MapCtx(context.Background(), n, workers, fn)
 	return out
+}
+
+// MapCtx is Map with cancellation; on a cancelled context it returns
+// (nil, ctx.Err()) because the result slice would be only partially filled.
+func MapCtx[R any](ctx context.Context, n, workers int, fn func(i int) R) ([]R, error) {
+	out := make([]R, n)
+	if err := ForCtx(ctx, n, workers, func(i int) { out[i] = fn(i) }); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // MapErr is Map for fallible functions. All indexes are processed even when
 // some fail; the error returned is the one with the lowest index, so the
 // reported failure does not depend on scheduling.
 func MapErr[R any](n, workers int, fn func(i int) (R, error)) ([]R, error) {
+	return MapErrCtx(context.Background(), n, workers, fn)
+}
+
+// MapErrCtx is MapErr with cancellation. A context error takes precedence
+// over fn errors, since indexes past the cancellation point were never run.
+func MapErrCtx[R any](ctx context.Context, n, workers int, fn func(i int) (R, error)) ([]R, error) {
 	out := make([]R, n)
 	errs := make([]error, n)
-	For(n, workers, func(i int) { out[i], errs[i] = fn(i) })
+	if err := ForCtx(ctx, n, workers, func(i int) { out[i], errs[i] = fn(i) }); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -100,12 +137,20 @@ func ChunkSize(n, workers int) int {
 // fn that emits results in ascending index order yields a fully ordered
 // concatenation with no sort.
 func MapChunks[R any](n, workers int, fn func(lo, hi int) []R) []R {
+	out, _ := MapChunksCtx(context.Background(), n, workers, fn)
+	return out
+}
+
+// MapChunksCtx is MapChunks with cancellation: chunks stop being scheduled
+// as soon as ctx is cancelled and (nil, ctx.Err()) is returned. Cancellation
+// granularity is one chunk — an in-flight fn call runs to completion.
+func MapChunksCtx[R any](ctx context.Context, n, workers int, fn func(lo, hi int) []R) ([]R, error) {
 	if n == 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	chunk := ChunkSize(n, workers)
 	numChunks := (n + chunk - 1) / chunk
-	parts := Map(numChunks, workers, func(c int) []R {
+	parts, err := MapCtx(ctx, numChunks, workers, func(c int) []R {
 		lo := c * chunk
 		hi := lo + chunk
 		if hi > n {
@@ -113,6 +158,9 @@ func MapChunks[R any](n, workers int, fn func(lo, hi int) []R) []R {
 		}
 		return fn(lo, hi)
 	})
+	if err != nil {
+		return nil, err
+	}
 	total := 0
 	for _, p := range parts {
 		total += len(p)
@@ -121,5 +169,5 @@ func MapChunks[R any](n, workers int, fn func(lo, hi int) []R) []R {
 	for _, p := range parts {
 		out = append(out, p...)
 	}
-	return out
+	return out, nil
 }

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -120,6 +121,78 @@ func TestMapChunksOrdered(t *testing.T) {
 	}
 	if got := MapChunks(0, 4, func(lo, hi int) []int { return []int{1} }); got != nil {
 		t.Fatalf("MapChunks over empty range returned %v", got)
+	}
+}
+
+func TestCtxVariantsMatchPlainOnLiveContext(t *testing.T) {
+	ctx := context.Background()
+	got, err := MapCtx(ctx, 50, 4, func(i int) int { return i * 3 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := Map(50, 4, func(i int) int { return i * 3 }); !reflect.DeepEqual(got, want) {
+		t.Fatal("MapCtx diverges from Map on a live context")
+	}
+	chunked, err := MapChunksCtx(ctx, 137, 3, func(lo, hi int) []int {
+		var out []int
+		for i := lo; i < hi; i++ {
+			out = append(out, i)
+		}
+		return out
+	})
+	if err != nil || len(chunked) != 137 {
+		t.Fatalf("MapChunksCtx = (%d items, %v)", len(chunked), err)
+	}
+	if err := ForCtx(ctx, 0, 4, func(i int) { t.Fatal("fn called for empty range") }); err != nil {
+		t.Fatalf("ForCtx over empty range: %v", err)
+	}
+}
+
+func TestCtxVariantsStopOnCancel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		var calls atomic.Int64
+		if err := ForCtx(ctx, 1000, workers, func(i int) { calls.Add(1) }); !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: ForCtx err = %v, want Canceled", workers, err)
+		}
+		if calls.Load() != 0 {
+			t.Fatalf("workers=%d: %d calls ran on a pre-cancelled context", workers, calls.Load())
+		}
+		if out, err := MapCtx(ctx, 1000, workers, func(i int) int { return i }); out != nil || !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: MapCtx = (%v, %v)", workers, out, err)
+		}
+		if out, err := MapErrCtx(ctx, 1000, workers, func(i int) (int, error) { return i, nil }); out != nil || !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: MapErrCtx = (%v, %v)", workers, out, err)
+		}
+		if out, err := MapChunksCtx(ctx, 1000, workers, func(lo, hi int) []int { return []int{lo} }); out != nil || !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: MapChunksCtx = (%v, %v)", workers, out, err)
+		}
+	}
+}
+
+// TestForCtxCancelMidRun cancels from inside fn and asserts scheduling stops
+// promptly: far fewer than n indexes run, and no goroutine is left behind.
+func TestForCtxCancelMidRun(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const n = 100000
+	var calls atomic.Int64
+	err := ForCtx(ctx, n, 4, func(i int) {
+		if calls.Add(1) == 10 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ForCtx err = %v, want Canceled", err)
+	}
+	// Each worker may have had one call in flight when cancel landed.
+	if c := calls.Load(); c > 100 {
+		t.Fatalf("%d calls ran after cancellation (expected prompt stop)", c)
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, after)
 	}
 }
 

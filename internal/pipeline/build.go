@@ -1,0 +1,314 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/memes-pipeline/memes/internal/annotate"
+	"github.com/memes-pipeline/memes/internal/cluster"
+	"github.com/memes-pipeline/memes/internal/dataset"
+	"github.com/memes-pipeline/memes/internal/parallel"
+	"github.com/memes-pipeline/memes/internal/phash"
+)
+
+// BuildResult is the resident output of the build phase (Steps 2-5): the
+// per-community clusterings, the annotated clusters, and the read-only
+// BK-tree over annotated-cluster medoids that Step 6 queries. Build it once,
+// then serve any number of Associate / Match queries against it — the
+// build/serve split the paper implies when it runs Step 6 over 160M images
+// against a fixed set of annotated clusters.
+//
+// A BuildResult is immutable after Build returns and safe for concurrent use
+// by multiple goroutines.
+type BuildResult struct {
+	// Config echoes the configuration used.
+	Config Config
+	// Dataset is the corpus the build ran on.
+	Dataset *dataset.Dataset
+	// Site is the annotation site used for Step 5.
+	Site *annotate.Site
+	// PerCommunity holds the clustering summary of each fringe community.
+	PerCommunity map[dataset.Community]CommunityClustering
+	// Clusters lists every cluster across the fringe communities; Clusters[i].ID == i.
+	Clusters []ClusterInfo
+
+	medoids    *phash.BKTree // index over annotated-cluster medoids, read-only
+	buildStats RunStats      // cluster + annotate stage records
+	buildWall  time.Duration // end-to-end wall time of Build
+	progress   ProgressFunc  // forwarded to Result's associate stage
+}
+
+// Match is the outcome of a single-hash lookup against the annotated
+// clusters: the winning cluster and its Hamming distance from the query.
+type Match struct {
+	// ClusterID indexes into BuildResult.Clusters (and Result.Clusters).
+	ClusterID int
+	// Distance is the Hamming distance between the query hash and the
+	// cluster medoid.
+	Distance int
+}
+
+// Build executes the expensive offline phase (Steps 2-5) over a dataset and
+// an annotation site: per-community DBSCAN clustering, medoid
+// materialisation, and medoid annotation, plus construction of the Step 6
+// medoid index. The stages run concurrently on Config.Workers workers, but
+// the returned BuildResult (clusters, IDs, summaries) is identical for every
+// worker count.
+//
+// Build stops promptly when ctx is cancelled and returns the context error;
+// progress (optional) observes stage start/completion events.
+func Build(ctx context.Context, ds *dataset.Dataset, site *annotate.Site, cfg Config, progress ProgressFunc) (*BuildResult, error) {
+	if ds == nil || site == nil {
+		return nil, errors.New("pipeline: nil dataset or site")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	b := &BuildResult{
+		Config:       cfg,
+		Dataset:      ds,
+		Site:         site,
+		PerCommunity: make(map[dataset.Community]CommunityClustering),
+		progress:     progress,
+	}
+	workers := parallel.Workers(cfg.Workers)
+	b.buildStats.Workers = workers
+	start := time.Now()
+	em := emitter{stats: &b.buildStats, progress: progress}
+
+	var fringe []dataset.Community
+	for _, comm := range dataset.Communities() {
+		if comm.Fringe() {
+			fringe = append(fringe, comm)
+		}
+	}
+
+	// Steps 2-3 run in two phases so total CPU-bound concurrency never
+	// exceeds the configured worker bound while skewed community sizes
+	// (/pol/ dominates) still saturate the pool. Phase one: DBSCAN every
+	// fringe community concurrently (the fan-out itself is capped at
+	// `workers`). Phase two: materialise medoids one community at a time,
+	// each with the full budget. Partials are indexed by the fixed
+	// dataset.Communities() order, so the merge below assigns the same
+	// cluster IDs for any worker count.
+	stageStart := em.start(StageCluster)
+	partials, err := parallel.MapErrCtx(ctx, len(fringe), workers, func(i int) (communityPartial, error) {
+		p, err := clusterCommunity(ds, fringe[i], cfg)
+		if err != nil {
+			return communityPartial{}, fmt.Errorf("pipeline: clustering %v: %w", fringe[i], err)
+		}
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	fringeImages, totalClusters := 0, 0
+	for i := range partials {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		p := &partials[i]
+		if len(p.hashes) > 0 {
+			p.clusters = cluster.MaterializeParallel(p.hashes, p.counts, p.dbres, workers)
+			p.summary.Clusters = len(p.clusters)
+		}
+		fringeImages += p.summary.Images
+		totalClusters += len(p.clusters)
+	}
+	em.done(StageCluster, stageStart, fringeImages)
+
+	// Step 5: batch-annotate every medoid across all communities at once.
+	stageStart = em.start(StageAnnotate)
+	medoids := make([]phash.Hash, 0, totalClusters)
+	for _, p := range partials {
+		for _, c := range p.clusters {
+			medoids = append(medoids, c.MedoidHash)
+		}
+	}
+	annotations, err := site.AnnotateBatchCtx(ctx, medoids, cfg.AnnotationThreshold, workers)
+	if err != nil {
+		return nil, err
+	}
+
+	// Merge in fixed community order, assigning stable cluster IDs.
+	at := 0
+	for pi, p := range partials {
+		summary := p.summary
+		for _, c := range p.clusters {
+			ann := annotations[at]
+			at++
+			info := ClusterInfo{
+				ID:             len(b.Clusters),
+				Community:      fringe[pi],
+				Label:          c.Label,
+				MedoidHash:     c.MedoidHash,
+				Images:         c.Size,
+				DistinctHashes: len(c.Members),
+				Annotation:     ann,
+			}
+			for _, m := range ann.Matches {
+				if m.Entry.IsRacist() {
+					info.Racist = true
+				}
+				if m.Entry.IsPolitical() {
+					info.Political = true
+				}
+			}
+			if ann.Annotated() {
+				summary.Annotated++
+			}
+			b.Clusters = append(b.Clusters, info)
+		}
+		b.PerCommunity[fringe[pi]] = summary
+	}
+	em.done(StageAnnotate, stageStart, totalClusters)
+
+	// The Step 6 index, built once and queried by every Associate / Match.
+	b.medoids = phash.NewBKTree()
+	annotated := 0
+	for i := range b.Clusters {
+		if b.Clusters[i].Annotated() {
+			b.medoids.Insert(b.Clusters[i].MedoidHash, int64(b.Clusters[i].ID))
+			annotated++
+		}
+	}
+
+	b.buildStats.FringeImages = fringeImages
+	b.buildStats.Clusters = len(b.Clusters)
+	b.buildStats.AnnotatedClusters = annotated
+	b.buildWall = time.Since(start)
+	return b, nil
+}
+
+// Stats returns the build-phase stage records (cluster and annotate); the
+// associate stage is recorded per materialisation by Result.
+func (b *BuildResult) Stats() RunStats {
+	s := b.buildStats
+	s.Stages = append([]StageStats(nil), b.buildStats.Stages...)
+	s.Total = b.buildWall
+	return s
+}
+
+// Communities returns the fringe communities present in PerCommunity in the
+// fixed dataset.Communities() order.
+func (b *BuildResult) Communities() []dataset.Community {
+	return communitiesOf(b.PerCommunity)
+}
+
+// Associate runs Step 6 over an arbitrary batch of posts — they need not be
+// part of the dataset the build ran on. Every image post is matched against
+// the annotated-cluster medoid index; the nearest medoid within the
+// association threshold wins, with ties broken by the lowest cluster ID.
+// PostIndex in the returned associations indexes into posts, which come out
+// sorted by that index.
+//
+// Associate is goroutine-safe (the medoid index is read-only) and stops
+// promptly with ctx.Err() when ctx is cancelled. The result is identical for
+// any worker count.
+func (b *BuildResult) Associate(ctx context.Context, posts []dataset.Post) ([]Association, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if b.medoids.Len() == 0 {
+		return nil, ctx.Err()
+	}
+	return parallel.MapChunksCtx(ctx, len(posts), b.Config.Workers, func(lo, hi int) []Association {
+		var out []Association
+		for i := lo; i < hi; i++ {
+			p := &posts[i]
+			if !p.HasImage {
+				continue
+			}
+			if m, ok := b.match(p.PHash()); ok {
+				out = append(out, Association{PostIndex: i, ClusterID: m.ClusterID, Distance: m.Distance})
+			}
+		}
+		return out
+	})
+}
+
+// Match looks a single perceptual hash up against the annotated clusters
+// (Step 6 for one image). The boolean is false when no annotated medoid lies
+// within the association threshold. Goroutine-safe.
+func (b *BuildResult) Match(h phash.Hash) (Match, bool) { return b.match(h) }
+
+// match picks the deterministic winner among the radius matches: the
+// minimum distance, with ties broken by the lowest cluster ID across all
+// matches at that distance, so the BK-tree traversal order never shows
+// through.
+func (b *BuildResult) match(h phash.Hash) (Match, bool) {
+	matches := b.medoids.Radius(h, b.Config.AssociationThreshold)
+	if len(matches) == 0 {
+		return Match{}, false
+	}
+	bestDist := phash.MaxDistance + 1
+	var bestID int64
+	for _, m := range matches {
+		for _, id := range m.IDs {
+			if m.Distance < bestDist || (m.Distance == bestDist && id < bestID) {
+				bestDist, bestID = m.Distance, id
+			}
+		}
+	}
+	return Match{ClusterID: int(bestID), Distance: bestDist}, true
+}
+
+// Result materialises the legacy one-shot Result from the build: it runs
+// Associate over the full build dataset (Step 6) and merges the build-phase
+// stats with the associate stage timing, so downstream consumers
+// (analysis.NewReport, hawkes influence estimation) keep working unchanged.
+// The Result shares the build's clusters and summaries; treat both as
+// read-only.
+func (b *BuildResult) Result(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	res := &Result{
+		Config:       b.Config,
+		Dataset:      b.Dataset,
+		Site:         b.Site,
+		PerCommunity: b.PerCommunity,
+		Clusters:     b.Clusters,
+		Stats:        b.buildStats,
+	}
+	res.Stats.Stages = append([]StageStats(nil), b.buildStats.Stages...)
+	em := emitter{stats: &res.Stats, progress: b.progress}
+
+	imagePosts := 0
+	for i := range b.Dataset.Posts {
+		if b.Dataset.Posts[i].HasImage {
+			imagePosts++
+		}
+	}
+	stageStart := em.start(StageAssociate)
+	assoc, err := b.Associate(ctx, b.Dataset.Posts)
+	if err != nil {
+		return nil, err
+	}
+	res.Associations = assoc
+	em.done(StageAssociate, stageStart, imagePosts)
+
+	res.Stats.Total = b.buildWall + time.Since(start)
+	res.Stats.TotalImages = imagePosts
+	res.Stats.Associations = len(assoc)
+	return res, nil
+}
+
+// communitiesOf returns the fringe communities present in the summary map in
+// the fixed dataset.Communities() order, so ranging over per-community
+// summaries is reproducible.
+func communitiesOf(per map[dataset.Community]CommunityClustering) []dataset.Community {
+	var out []dataset.Community
+	for _, c := range dataset.Communities() {
+		if _, ok := per[c]; ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/memes-pipeline/memes/internal/dataset"
+)
+
+// TestBuildThenResultMatchesRun asserts the phase split is lossless: Build
+// followed by Result produces exactly what the one-shot Run does (Stats
+// excepted, as documented).
+func TestBuildThenResultMatchesRun(t *testing.T) {
+	res := getRun(t)
+	b, err := Build(context.Background(), res.Dataset, res.Site, DefaultConfig(), nil)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	got, err := b.Result(context.Background())
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	if !reflect.DeepEqual(got.Clusters, res.Clusters) ||
+		!reflect.DeepEqual(got.Associations, res.Associations) ||
+		!reflect.DeepEqual(got.PerCommunity, res.PerCommunity) {
+		t.Fatal("Build+Result diverges from Run")
+	}
+	// The build phase alone must already expose the clusters and summaries.
+	if !reflect.DeepEqual(b.Clusters, res.Clusters) || !reflect.DeepEqual(b.PerCommunity, res.PerCommunity) {
+		t.Fatal("BuildResult clusters/summaries diverge from Run")
+	}
+}
+
+// TestBuildResultMatchAgreesWithAssociate checks the single-hash lookup and
+// the batch path pick the same winner for every associated post.
+func TestBuildResultMatchAgreesWithAssociate(t *testing.T) {
+	res := getRun(t)
+	b, err := Build(context.Background(), res.Dataset, res.Site, DefaultConfig(), nil)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	for _, a := range res.Associations[:min(50, len(res.Associations))] {
+		m, ok := b.Match(res.Dataset.Posts[a.PostIndex].PHash())
+		if !ok || m.ClusterID != a.ClusterID || m.Distance != a.Distance {
+			t.Fatalf("Match diverges from association %+v: (%+v, %v)", a, m, ok)
+		}
+	}
+	// A hash maximally far from everything must not match.
+	if m, ok := b.Match(0xFFFFFFFFFFFFFFFF); ok && m.Distance > b.Config.AssociationThreshold {
+		t.Fatalf("Match returned out-of-threshold result %+v", m)
+	}
+}
+
+// TestRunContextCancelled covers cancellation at the pipeline layer: a
+// pre-cancelled context fails both phases.
+func TestRunContextCancelled(t *testing.T) {
+	res := getRun(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, res.Dataset, res.Site, DefaultConfig(), nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext on cancelled ctx: %v", err)
+	}
+	b, err := Build(context.Background(), res.Dataset, res.Site, DefaultConfig(), nil)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if _, err := b.Associate(ctx, res.Dataset.Posts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Associate on cancelled ctx: %v", err)
+	}
+	if _, err := b.Result(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Result on cancelled ctx: %v", err)
+	}
+}
+
+// TestResultCommunitiesFixedOrder asserts the reproducible-iteration helper
+// returns the fringe communities in dataset order.
+func TestResultCommunitiesFixedOrder(t *testing.T) {
+	res := getRun(t)
+	want := []dataset.Community{dataset.Pol, dataset.Gab, dataset.TheDonald}
+	if got := res.Communities(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Result.Communities() = %v, want %v", got, want)
+	}
+}

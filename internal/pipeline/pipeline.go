@@ -9,19 +9,30 @@
 //	Step 6   association of images from all communities to annotated clusters
 //	Step 7   analysis and influence estimation (package analysis)
 //
-// The engine is a staged concurrent pipeline: Steps 2-3 fan out across the
-// fringe communities (and across clusters within a community), Step 5
-// batch-annotates every medoid concurrently, and Step 6 streams post chunks
-// through a worker pool. Every stage merges its results in a fixed order, so
-// Result is identical for any Config.Workers value; Result.Stats records the
-// per-stage wall time.
+// The engine is a staged concurrent pipeline split into two phases that
+// mirror the paper's cost structure:
+//
+//   - Build (Steps 2-5, expensive, offline): per-community DBSCAN fan-out,
+//     parallel medoid materialisation, batch medoid annotation, and
+//     construction of the annotated-medoid BK-tree. The output is a
+//     resident, immutable BuildResult.
+//   - Associate (Step 6, cheap, repeatable): any post batch — including
+//     posts not in the original dataset — streams through a worker pool
+//     against the BuildResult's medoid index. BuildResult.Match answers
+//     single-hash lookups for serving front-ends.
+//
+// Run / RunContext compose the two phases into the legacy one-shot call.
+// Every stage merges its results in a fixed order, so Result is identical
+// for any Config.Workers value; Result.Stats records the per-stage wall
+// time and is derived from the StageEvent stream a ProgressFunc observes.
+// All phases accept a context.Context and stop promptly on cancellation.
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"image"
-	"time"
 
 	"github.com/memes-pipeline/memes/internal/annotate"
 	"github.com/memes-pipeline/memes/internal/cluster"
@@ -184,6 +195,13 @@ func (r *Result) AnnotatedClusters() []int {
 	return out
 }
 
+// Communities returns the fringe communities present in PerCommunity in the
+// fixed dataset.Communities() order, so ranging over per-community
+// summaries (a map) produces reproducible output.
+func (r *Result) Communities() []dataset.Community {
+	return communitiesOf(r.PerCommunity)
+}
+
 // communityPartial is the Steps 2-3 output for one fringe community before
 // annotation and ID assignment. hashes/counts/dbres carry the DBSCAN output
 // to the materialise phase; clusters is filled there.
@@ -201,123 +219,20 @@ type communityPartial struct {
 //
 // The stages run concurrently on Config.Workers workers, but the returned
 // Result (clusters, IDs, associations, summaries) is identical for every
-// worker count.
+// worker count. Run is the one-shot composition of Build (Steps 2-5) and
+// BuildResult.Result (Step 6); callers that query repeatedly should Build
+// once and Associate many times instead.
 func Run(ds *dataset.Dataset, site *annotate.Site, cfg Config) (*Result, error) {
-	if ds == nil || site == nil {
-		return nil, errors.New("pipeline: nil dataset or site")
-	}
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	res := &Result{
-		Config:       cfg,
-		Dataset:      ds,
-		Site:         site,
-		PerCommunity: make(map[dataset.Community]CommunityClustering),
-	}
-	workers := parallel.Workers(cfg.Workers)
-	res.Stats.Workers = workers
-	start := time.Now()
+	return RunContext(context.Background(), ds, site, cfg, nil)
+}
 
-	var fringe []dataset.Community
-	for _, comm := range dataset.Communities() {
-		if comm.Fringe() {
-			fringe = append(fringe, comm)
-		}
-	}
-
-	// Steps 2-3 run in two phases so total CPU-bound concurrency never
-	// exceeds the configured worker bound while skewed community sizes
-	// (/pol/ dominates) still saturate the pool. Phase one: DBSCAN every
-	// fringe community concurrently (the fan-out itself is capped at
-	// `workers`). Phase two: materialise medoids one community at a time,
-	// each with the full budget. Partials are indexed by the fixed
-	// dataset.Communities() order, so the merge below assigns the same
-	// cluster IDs for any worker count.
-	stageStart := time.Now()
-	partials, err := parallel.MapErr(len(fringe), workers, func(i int) (communityPartial, error) {
-		p, err := clusterCommunity(ds, fringe[i], cfg)
-		if err != nil {
-			return communityPartial{}, fmt.Errorf("pipeline: clustering %v: %w", fringe[i], err)
-		}
-		return p, nil
-	})
+// RunContext is Run with cancellation and progress observation.
+func RunContext(ctx context.Context, ds *dataset.Dataset, site *annotate.Site, cfg Config, progress ProgressFunc) (*Result, error) {
+	b, err := Build(ctx, ds, site, cfg, progress)
 	if err != nil {
 		return nil, err
 	}
-	fringeImages, totalClusters := 0, 0
-	for i := range partials {
-		p := &partials[i]
-		if len(p.hashes) > 0 {
-			p.clusters = cluster.MaterializeParallel(p.hashes, p.counts, p.dbres, workers)
-			p.summary.Clusters = len(p.clusters)
-		}
-		fringeImages += p.summary.Images
-		totalClusters += len(p.clusters)
-	}
-	res.Stats.addStage(StageCluster, time.Since(stageStart), fringeImages)
-
-	// Step 5: batch-annotate every medoid across all communities at once.
-	stageStart = time.Now()
-	medoids := make([]phash.Hash, 0, totalClusters)
-	for _, p := range partials {
-		for _, c := range p.clusters {
-			medoids = append(medoids, c.MedoidHash)
-		}
-	}
-	annotations := res.Site.AnnotateBatch(medoids, cfg.AnnotationThreshold, workers)
-
-	// Merge in fixed community order, assigning stable cluster IDs.
-	at := 0
-	for pi, p := range partials {
-		summary := p.summary
-		for _, c := range p.clusters {
-			ann := annotations[at]
-			at++
-			info := ClusterInfo{
-				ID:             len(res.Clusters),
-				Community:      fringe[pi],
-				Label:          c.Label,
-				MedoidHash:     c.MedoidHash,
-				Images:         c.Size,
-				DistinctHashes: len(c.Members),
-				Annotation:     ann,
-			}
-			for _, m := range ann.Matches {
-				if m.Entry.IsRacist() {
-					info.Racist = true
-				}
-				if m.Entry.IsPolitical() {
-					info.Political = true
-				}
-			}
-			if ann.Annotated() {
-				summary.Annotated++
-			}
-			res.Clusters = append(res.Clusters, info)
-		}
-		res.PerCommunity[fringe[pi]] = summary
-	}
-	res.Stats.addStage(StageAnnotate, time.Since(stageStart), totalClusters)
-
-	// Step 6: associate posts from every community with annotated clusters.
-	imagePosts := 0
-	for i := range ds.Posts {
-		if ds.Posts[i].HasImage {
-			imagePosts++
-		}
-	}
-	stageStart = time.Now()
-	res.associate()
-	res.Stats.addStage(StageAssociate, time.Since(stageStart), imagePosts)
-
-	res.Stats.Total = time.Since(start)
-	res.Stats.FringeImages = fringeImages
-	res.Stats.TotalImages = imagePosts
-	res.Stats.Clusters = len(res.Clusters)
-	res.Stats.AnnotatedClusters = len(res.AnnotatedClusters())
-	res.Stats.Associations = len(res.Associations)
-	return res, nil
+	return b.Result(ctx)
 }
 
 // clusterCommunity performs the first phase of Steps 2-3 for one fringe
@@ -360,55 +275,6 @@ func clusterCommunity(ds *dataset.Dataset, comm dataset.Community, cfg Config) (
 		}
 	}
 	return communityPartial{summary: summary, hashes: hashes, counts: counts, dbres: dbres}, nil
-}
-
-// associate implements Step 6: every image post from every community is
-// matched against the medoids of the annotated clusters; the nearest medoid
-// within the association threshold wins. Posts stream through the worker
-// pool in contiguous chunks whose results are concatenated in chunk order,
-// so Associations comes out sorted by post index without a sort.
-func (r *Result) associate() {
-	annotated := r.AnnotatedClusters()
-	if len(annotated) == 0 {
-		return
-	}
-	medoidIndex := phash.NewBKTree()
-	for _, ci := range annotated {
-		medoidIndex.Insert(r.Clusters[ci].MedoidHash, int64(ci))
-	}
-
-	posts := r.Dataset.Posts
-	r.Associations = parallel.MapChunks(len(posts), r.Config.Workers, func(lo, hi int) []Association {
-		var out []Association
-		for i := lo; i < hi; i++ {
-			p := posts[i]
-			if !p.HasImage {
-				continue
-			}
-			matches := medoidIndex.Radius(p.PHash(), r.Config.AssociationThreshold)
-			if len(matches) == 0 {
-				continue
-			}
-			// Deterministic winner: the minimum distance, with ties broken by
-			// the lowest cluster ID across all matches at that distance, so the
-			// BK-tree traversal order never shows through.
-			bestDist := phash.MaxDistance + 1
-			var bestID int64
-			for _, m := range matches {
-				for _, id := range m.IDs {
-					if m.Distance < bestDist || (m.Distance == bestDist && id < bestID) {
-						bestDist, bestID = m.Distance, id
-					}
-				}
-			}
-			out = append(out, Association{
-				PostIndex: i,
-				ClusterID: int(bestID),
-				Distance:  bestDist,
-			})
-		}
-		return out
-	})
 }
 
 // HashImages is the Step 1 helper for callers that hold raw images rather

@@ -1,0 +1,49 @@
+package pipeline
+
+import "time"
+
+// StageEvent reports the start or the completion of one pipeline stage.
+// Stage starts carry only the stage name (Done=false, zero Items/Duration);
+// stage completions carry the item count and wall time. RunStats is derived
+// from the completion events, so a progress observer sees exactly the
+// information the stats record, as it happens.
+type StageEvent struct {
+	// Stage is one of the Stage* constants.
+	Stage string
+	// Done is false for the stage-start event, true for completion.
+	Done bool
+	// Items is the number of units the stage processed (completion only).
+	Items int
+	// Duration is the stage wall time (completion only).
+	Duration time.Duration
+}
+
+// ProgressFunc observes stage events. It is called synchronously from the
+// goroutine driving the stage, in stage order; it must not block for long
+// and must not call back into the emitting Build/Result.
+type ProgressFunc func(StageEvent)
+
+// emitter couples stage-event emission with stats collection: every
+// completion event is observed by the RunStats and forwarded to the optional
+// user progress function, so the two views can never disagree.
+type emitter struct {
+	stats    *RunStats
+	progress ProgressFunc
+}
+
+// start emits the stage-start event and returns the stage clock.
+func (e emitter) start(stage string) time.Time {
+	if e.progress != nil {
+		e.progress(StageEvent{Stage: stage})
+	}
+	return time.Now()
+}
+
+// done emits the completion event, records it into the stats, and returns it.
+func (e emitter) done(stage string, started time.Time, items int) {
+	ev := StageEvent{Stage: stage, Done: true, Items: items, Duration: time.Since(started)}
+	e.stats.observe(ev)
+	if e.progress != nil {
+		e.progress(ev)
+	}
+}

@@ -56,9 +56,13 @@ type RunStats struct {
 	Associations int
 }
 
-// addStage appends one stage timing record.
-func (s *RunStats) addStage(name string, d time.Duration, items int) {
-	s.Stages = append(s.Stages, StageStats{Name: name, Duration: d, Items: items})
+// observe records one stage-completion event; RunStats.Stages is exactly
+// the sequence of completion events a ProgressFunc would see.
+func (s *RunStats) observe(ev StageEvent) {
+	if !ev.Done {
+		return
+	}
+	s.Stages = append(s.Stages, StageStats{Name: ev.Stage, Duration: ev.Duration, Items: ev.Items})
 }
 
 // Stage returns the stats of the named stage; ok is false when the stage

@@ -2,15 +2,21 @@
 // "On the Origins of Memes by Means of Fringe Web Communities" (IMC 2018).
 //
 // The package wraps the internal building blocks into a small, stable
-// surface:
+// surface built around a build-once / query-many split that mirrors the
+// paper's cost structure — an expensive offline build (Steps 2-5) and a
+// cheap repeatable query phase (Step 6, the stage the paper runs over 160M
+// images):
 //
 //   - GenerateDataset / LoadDataset build or load a synthetic multi-community
 //     corpus with a Know Your Meme-style annotation site (the stand-in for
 //     the paper's 160M crawled images — see DESIGN.md for the substitution
 //     rationale).
-//   - Run executes the processing pipeline (pHash clustering of the fringe
-//     communities, screenshot filtering, KYM annotation, and association of
-//     posts from every community to the annotated clusters).
+//   - NewEngine runs the build phase once (pHash clustering of the fringe
+//     communities, screenshot filtering, KYM annotation) and keeps the
+//     annotated-cluster index resident; Engine.Associate, Engine.Match, and
+//     Engine.MatchImage then serve goroutine-safe, context-cancellable
+//     queries against it, and Engine.Result materialises the full legacy
+//     result.
 //   - NewReport regenerates every table and figure of the paper's evaluation
 //     from a pipeline result.
 //   - HashImage, NewMetric, FitHawkes, and TrainScreenshotClassifier expose
@@ -20,6 +26,7 @@
 package memes
 
 import (
+	"context"
 	"image"
 
 	"github.com/memes-pipeline/memes/internal/analysis"
@@ -97,8 +104,18 @@ type ClusterInfo = pipeline.ClusterInfo
 // Run executes the processing pipeline over a dataset and an annotation
 // site. Use ds.Site(true) for a site with screenshots already filtered, or
 // FilterSiteWithClassifier to run the learned screenshot filter.
+//
+// Deprecated: Run rebuilds the entire Steps 2-5 index on every call and
+// cannot be cancelled. Build the index once with NewEngine and query it with
+// Engine.Associate / Engine.Match; Engine.Result produces exactly the
+// *Result Run returns. Run remains as a thin wrapper (NewEngine + Result)
+// so existing call sites keep working.
 func Run(ds *Dataset, site *AnnotationSite, cfg PipelineConfig) (*Result, error) {
-	return pipeline.Run(ds, site, cfg)
+	eng, err := NewEngine(context.Background(), ds, site, WithConfig(cfg))
+	if err != nil {
+		return nil, err
+	}
+	return eng.result()
 }
 
 // Metric is the custom inter-cluster distance metric of Section 2.3.
