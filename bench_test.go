@@ -9,6 +9,7 @@ package memes
 // evaluation in one command.
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"runtime"
@@ -471,8 +472,81 @@ func BenchmarkPipelineRun(b *testing.B) {
 // post batches stream through Engine.Associate. images_per_sec here is the
 // paper's §7 headline metric (~73 images/sec on two Titan Xp GPUs for
 // Step 6), tracked separately from the build cost BenchmarkPipelineRun pays
-// on every iteration.
+// on every iteration. One sub-benchmark per registered index strategy makes
+// this the serve-path shoot-out the CI perf trajectory records: every
+// strategy returns bitwise-identical associations (see the engine and
+// internal/index equivalence tests), so the deltas are pure cost.
 func BenchmarkEngineAssociate(b *testing.B) {
+	st := getBench(b)
+	site, err := st.ds.Site(true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	imagePosts := 0
+	for i := range st.ds.Posts {
+		if st.ds.Posts[i].HasImage {
+			imagePosts++
+		}
+	}
+	for _, strategy := range IndexStrategies() {
+		b.Run(string(strategy), func(b *testing.B) {
+			eng, err := NewEngine(ctx, st.ds, site, WithIndex(strategy))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Associate(ctx, st.ds.Posts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(imagePosts)*float64(b.N)/secs, "images_per_sec")
+			}
+		})
+	}
+}
+
+// BenchmarkEngineMatch measures single-hash lookup latency per strategy —
+// the primitive a serving front-end pays per image — using the annotated
+// medoids themselves as queries.
+func BenchmarkEngineMatch(b *testing.B) {
+	st := getBench(b)
+	site, err := st.ds.Site(true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, strategy := range IndexStrategies() {
+		b.Run(string(strategy), func(b *testing.B) {
+			eng, err := NewEngine(ctx, st.ds, site, WithIndex(strategy))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var queries []Hash
+			for _, c := range eng.Clusters() {
+				if c.Annotated() {
+					queries = append(queries, c.MedoidHash)
+				}
+			}
+			if len(queries) == 0 {
+				b.Skip("no annotated clusters")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := eng.Match(ctx, queries[i%len(queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineSnapshot measures the persistence path: Save cost, Load
+// cost, and snapshot size — the price of skipping Steps 2-5 on restart.
+func BenchmarkEngineSnapshot(b *testing.B) {
 	st := getBench(b)
 	site, err := st.ds.Site(true)
 	if err != nil {
@@ -483,22 +557,28 @@ func BenchmarkEngineAssociate(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	imagePosts := 0
-	for i := range st.ds.Posts {
-		if st.ds.Posts[i].HasImage {
-			imagePosts++
+	var buf bytes.Buffer
+	if err := eng.Save(&buf); err != nil {
+		b.Fatal(err)
+	}
+	snap := buf.Bytes()
+	b.Run("save", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var w bytes.Buffer
+			w.Grow(len(snap))
+			if err := eng.Save(&w); err != nil {
+				b.Fatal(err)
+			}
 		}
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := eng.Associate(ctx, st.ds.Posts); err != nil {
-			b.Fatal(err)
+		b.ReportMetric(float64(len(snap)), "snapshot_bytes")
+	})
+	b.Run("load", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := LoadEngine(bytes.NewReader(snap), site); err != nil {
+				b.Fatal(err)
+			}
 		}
-	}
-	b.StopTimer()
-	if secs := b.Elapsed().Seconds(); secs > 0 {
-		b.ReportMetric(float64(imagePosts)*float64(b.N)/secs, "images_per_sec")
-	}
+	})
 }
 
 // BenchmarkPerf_AssociationThroughput measures the Step 6 association rate

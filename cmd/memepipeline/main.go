@@ -4,12 +4,19 @@
 //
 // Usage:
 //
-//	memepipeline -in ./corpus [-eps 8] [-theta 8] [-workers N] [-format text|json] [-graph graph.json]
+//	memepipeline -in ./corpus [-eps 8] [-theta 8] [-workers N] [-index bktree|multiindex|sharded]
+//	             [-save engine.snap] [-load engine.snap] [-format text|json] [-graph graph.json]
 //
 // With -format text (the default) the summary goes to stdout and the timing
 // to stderr, so stdout stays a reproducible report. With -format json one
 // JSON document carrying the full clustering/association summary plus the
 // run stats is written to stdout.
+//
+// -save writes the built engine (Steps 2-5 output) as a versioned binary
+// snapshot; -load reconstitutes the engine from such a snapshot instead of
+// building, so only Step 6 runs — build once on a big box, serve the
+// snapshot anywhere. With -load the clustering flags (-eps, -theta) are
+// ignored: the snapshot's build configuration is authoritative.
 package main
 
 import (
@@ -19,10 +26,11 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"time"
+	"strings"
 
 	"github.com/memes-pipeline/memes"
 	"github.com/memes-pipeline/memes/internal/analysis"
+	"github.com/memes-pipeline/memes/internal/cli"
 	"github.com/memes-pipeline/memes/internal/distance"
 )
 
@@ -31,11 +39,17 @@ func main() {
 	eps := flag.Int("eps", 8, "DBSCAN clustering threshold")
 	theta := flag.Int("theta", 8, "annotation/association Hamming threshold")
 	workers := flag.Int("workers", 0, "worker pool size for every pipeline stage (0 = GOMAXPROCS)")
+	indexStrategy := flag.String("index", "", "medoid index strategy (empty = default): "+strategyList())
+	savePath := flag.String("save", "", "write the built engine snapshot to this file")
+	loadPath := flag.String("load", "", "load the engine from this snapshot instead of building (skips Steps 2-5)")
 	format := flag.String("format", "text", "output format: text or json")
 	graphOut := flag.String("graph", "", "optional path to write the Figure 7 cluster graph as JSON")
 	flag.Parse()
 	if *format != "text" && *format != "json" {
 		log.Fatalf("unknown -format %q (want text or json)", *format)
+	}
+	if *savePath != "" && *loadPath != "" {
+		log.Fatal("-save and -load are mutually exclusive (a loaded engine would re-save the same snapshot)")
 	}
 
 	ds, err := memes.LoadDataset(*in)
@@ -47,13 +61,48 @@ func main() {
 		log.Fatalf("building annotation site: %v", err)
 	}
 
-	eng, err := memes.NewEngine(context.Background(), ds, site,
-		memes.WithEps(*eps),
-		memes.WithAnnotationThreshold(*theta),
-		memes.WithAssociationThreshold(*theta),
-		memes.WithWorkers(*workers))
-	if err != nil {
-		log.Fatalf("building engine: %v", err)
+	var eng *memes.Engine
+	if *loadPath != "" {
+		opts := []memes.Option{memes.WithDataset(ds), memes.WithWorkers(*workers)}
+		if *indexStrategy != "" {
+			opts = append(opts, memes.WithIndex(memes.IndexStrategy(*indexStrategy)))
+		}
+		f, err := os.Open(*loadPath)
+		if err != nil {
+			log.Fatalf("opening snapshot: %v", err)
+		}
+		eng, err = memes.LoadEngine(f, site, opts...)
+		f.Close()
+		if err != nil {
+			log.Fatalf("loading engine snapshot: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded engine from %s (%d clusters) — Steps 2-5 skipped\n",
+			*loadPath, len(eng.Clusters()))
+	} else {
+		eng, err = memes.NewEngine(context.Background(), ds, site,
+			memes.WithEps(*eps),
+			memes.WithAnnotationThreshold(*theta),
+			memes.WithAssociationThreshold(*theta),
+			memes.WithWorkers(*workers),
+			memes.WithIndex(memes.IndexStrategy(*indexStrategy)))
+		if err != nil {
+			log.Fatalf("building engine: %v", err)
+		}
+	}
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			log.Fatalf("creating snapshot file: %v", err)
+		}
+		if err := eng.Save(f); err != nil {
+			log.Fatalf("writing snapshot: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("closing snapshot file: %v", err)
+		}
+		if st, err := os.Stat(*savePath); err == nil {
+			fmt.Fprintf(os.Stderr, "wrote engine snapshot (%d bytes) to %s\n", st.Size(), *savePath)
+		}
 	}
 	res := eng.Result()
 
@@ -97,6 +146,16 @@ func main() {
 	}
 }
 
+// strategyList renders the registered index strategies for the -index flag
+// help text.
+func strategyList() string {
+	var names []string
+	for _, s := range memes.IndexStrategies() {
+		names = append(names, string(s))
+	}
+	return strings.Join(names, ", ")
+}
+
 // The JSON document mirrors the text summary (clustering rows, association
 // counts) and adds the run stats, so one machine-readable object carries
 // everything a CI pipeline or dashboard needs.
@@ -115,30 +174,11 @@ type eventsJSON struct {
 	Events    int    `json:"events"`
 }
 
-type stageJSON struct {
-	Name        string  `json:"name"`
-	DurationMS  float64 `json:"duration_ms"`
-	Items       int     `json:"items"`
-	ItemsPerSec float64 `json:"items_per_sec"`
-}
-
-type statsJSON struct {
-	Workers           int         `json:"workers"`
-	Stages            []stageJSON `json:"stages"`
-	TotalMS           float64     `json:"total_ms"`
-	FringeImages      int         `json:"fringe_images"`
-	TotalImages       int         `json:"total_images"`
-	Clusters          int         `json:"clusters"`
-	AnnotatedClusters int         `json:"annotated_clusters"`
-	Associations      int         `json:"associations"`
-	ImagesPerSec      float64     `json:"images_per_sec"`
-}
-
 type summaryJSON struct {
 	Clustering   []clusteringJSON `json:"clustering"`
 	Associations int              `json:"associations"`
 	Events       []eventsJSON     `json:"events"`
-	Stats        statsJSON        `json:"stats"`
+	Stats        cli.StatsJSON    `json:"stats"`
 }
 
 func summaryDoc(res *memes.Result) summaryJSON {
@@ -162,25 +202,6 @@ func summaryDoc(res *memes.Result) summaryJSON {
 	for _, row := range analysis.EventCounts(res) {
 		doc.Events = append(doc.Events, eventsJSON{Community: row.Community, Events: row.Events})
 	}
-	s := res.Stats
-	doc.Stats = statsJSON{
-		Stages:            []stageJSON{},
-		Workers:           s.Workers,
-		TotalMS:           float64(s.Total) / float64(time.Millisecond),
-		FringeImages:      s.FringeImages,
-		TotalImages:       s.TotalImages,
-		Clusters:          s.Clusters,
-		AnnotatedClusters: s.AnnotatedClusters,
-		Associations:      s.Associations,
-		ImagesPerSec:      s.ImagesPerSec(),
-	}
-	for _, st := range s.Stages {
-		doc.Stats.Stages = append(doc.Stats.Stages, stageJSON{
-			Name:        st.Name,
-			DurationMS:  float64(st.Duration) / float64(time.Millisecond),
-			Items:       st.Items,
-			ItemsPerSec: st.Throughput(),
-		})
-	}
+	doc.Stats = cli.StatsDoc(res.Stats)
 	return doc
 }

@@ -4,28 +4,37 @@
 //
 // Usage:
 //
-//	memereport [-in ./corpus] [-profile paper|small] [-workers N] [-out report.txt]
+//	memereport [-in ./corpus] [-profile paper|small] [-workers N] [-format text|json] [-out report.txt]
 //
 // When -in is given the corpus is loaded from disk; otherwise one is
-// generated in memory with the selected profile.
+// generated in memory with the selected profile. With -format text (the
+// default) the sections render as one plain-text document; with -format
+// json a single JSON document carries every section plus the run stats —
+// the same machine-readable contract cmd/memepipeline's JSON mode follows.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
 	"github.com/memes-pipeline/memes"
+	"github.com/memes-pipeline/memes/internal/cli"
 )
 
 func main() {
 	in := flag.String("in", "", "corpus directory written by memegen (empty: generate in memory)")
 	profile := flag.String("profile", "paper", "dataset profile when generating: paper or small")
 	workers := flag.Int("workers", 0, "worker pool size for every pipeline stage (0 = GOMAXPROCS)")
+	format := flag.String("format", "text", "output format: text or json")
 	out := flag.String("out", "", "write the report to this file instead of stdout")
 	flag.Parse()
+	if *format != "text" && *format != "json" {
+		log.Fatalf("unknown -format %q (want text or json)", *format)
+	}
 
 	var (
 		ds  *memes.Dataset
@@ -58,16 +67,52 @@ func main() {
 	if err != nil {
 		log.Fatalf("building report: %v", err)
 	}
-	text, err := rep.RenderAll()
-	if err != nil {
-		log.Fatalf("rendering report: %v", err)
+
+	var rendered []byte
+	switch *format {
+	case "json":
+		doc, err := reportDoc(rep, res)
+		if err != nil {
+			log.Fatalf("rendering report: %v", err)
+		}
+		rendered, err = json.Marshal(doc)
+		if err != nil {
+			log.Fatalf("encoding report: %v", err)
+		}
+		rendered = append(rendered, '\n')
+	case "text":
+		text, err := rep.RenderAll()
+		if err != nil {
+			log.Fatalf("rendering report: %v", err)
+		}
+		rendered = []byte(text)
 	}
+
 	if *out == "" {
-		fmt.Print(text)
+		os.Stdout.Write(rendered)
 		return
 	}
-	if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+	if err := os.WriteFile(*out, rendered, 0o644); err != nil {
 		log.Fatalf("writing report: %v", err)
 	}
 	fmt.Printf("wrote report to %s\n", *out)
+}
+
+// The JSON document: every report section in paper order, plus the run
+// stats of the pipeline execution that produced them. Sections carry the
+// rendered text bodies — the structured data behind each one remains
+// available through the library API.
+
+type reportJSON struct {
+	Sections []memes.ReportSection `json:"sections"`
+	Stats    cli.StatsJSON         `json:"stats"`
+}
+
+// reportDoc assembles the single JSON document for -format json.
+func reportDoc(rep *memes.Report, res *memes.Result) (reportJSON, error) {
+	sections, err := rep.Sections()
+	if err != nil {
+		return reportJSON{}, err
+	}
+	return reportJSON{Sections: sections, Stats: cli.StatsDoc(res.Stats)}, nil
 }

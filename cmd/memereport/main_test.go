@@ -1,0 +1,103 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/memes-pipeline/memes"
+	"github.com/memes-pipeline/memes/internal/cli"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// golden compares got against testdata/<name>, rewriting the file under
+// -update.
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (run `go test ./cmd/memereport -update` to create): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("%s: output diverges from golden file (run `go test ./cmd/memereport -update` after intentional changes)", name)
+	}
+}
+
+// reportFixture builds the small-profile engine once for both format tests.
+func reportFixture(t *testing.T) (*memes.Report, *memes.Result) {
+	t.Helper()
+	ds, err := memes.GenerateDataset(memes.SmallDatasetConfig())
+	if err != nil {
+		t.Fatalf("GenerateDataset: %v", err)
+	}
+	site, err := ds.Site(true)
+	if err != nil {
+		t.Fatalf("Site: %v", err)
+	}
+	eng, err := memes.NewEngine(context.Background(), ds, site)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	res := eng.Result()
+	rep, err := memes.NewReport(res)
+	if err != nil {
+		t.Fatalf("NewReport: %v", err)
+	}
+	return rep, res
+}
+
+// TestReportTextGolden pins the full text report for the small profile: the
+// corpus generator, the pipeline, and every analysis are seeded, so the
+// rendered document is reproducible byte for byte.
+func TestReportTextGolden(t *testing.T) {
+	rep, _ := reportFixture(t)
+	text, err := rep.RenderAll()
+	if err != nil {
+		t.Fatalf("RenderAll: %v", err)
+	}
+	golden(t, "report_small.txt", []byte(text))
+}
+
+// TestReportJSONGolden pins the -format json document. The stats block is
+// the one run-varying part, so it is zeroed before comparison — the golden
+// covers the document shape and every section body.
+func TestReportJSONGolden(t *testing.T) {
+	rep, res := reportFixture(t)
+	doc, err := reportDoc(rep, res)
+	if err != nil {
+		t.Fatalf("reportDoc: %v", err)
+	}
+	if len(doc.Stats.Stages) == 0 || doc.Stats.TotalMS <= 0 {
+		t.Fatal("stats block not populated")
+	}
+	doc.Stats = cli.StatsJSON{Stages: []cli.StageJSON{}}
+	got, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got = append(got, '\n')
+	golden(t, "report_small.json", got)
+
+	// The document must round-trip: a consumer can decode what we emit.
+	var back reportJSON
+	if err := json.Unmarshal(got, &back); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	if len(back.Sections) != len(doc.Sections) {
+		t.Fatalf("round-trip lost sections: %d vs %d", len(back.Sections), len(doc.Sections))
+	}
+}

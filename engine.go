@@ -2,7 +2,9 @@ package memes
 
 import (
 	"context"
+	"errors"
 	"image"
+	"io"
 	"sync"
 
 	"github.com/memes-pipeline/memes/internal/dataset"
@@ -59,12 +61,13 @@ type Association = pipeline.Association
 // cluster and its Hamming distance from the query.
 type Match = pipeline.Match
 
-// Option configures NewEngine.
+// Option configures NewEngine and LoadEngine.
 type Option func(*engineConfig)
 
 type engineConfig struct {
 	cfg      PipelineConfig
 	progress ProgressFunc
+	ds       *Dataset // LoadEngine only: dataset bound for Result materialisation
 }
 
 // WithConfig replaces the engine's entire pipeline configuration. It is
@@ -104,6 +107,26 @@ func WithAssociationThreshold(theta int) Option {
 	return func(o *engineConfig) { o.cfg.AssociationThreshold = theta }
 }
 
+// WithIndex selects the medoid-index strategy the engine's Step 6 serve
+// path queries: IndexBKTree (the default), IndexMultiIndex, or IndexSharded
+// — see IndexStrategies for the full registered set. Every strategy serves
+// bitwise-identical Associate/Match/Result output; the choice only shapes
+// the cost profile (single-tree pruning vs banded lookups vs parallel
+// sharded fan-out). Applies to both NewEngine and LoadEngine — snapshots
+// never persist the index itself, so a snapshot written under one strategy
+// loads under any other.
+func WithIndex(s IndexStrategy) Option {
+	return func(o *engineConfig) { o.cfg.Index = s }
+}
+
+// WithDataset binds a corpus to an engine loaded from a snapshot so
+// Engine.Result can materialise the legacy full-corpus result. It applies
+// to LoadEngine only; NewEngine already receives its dataset positionally
+// and rejects this option.
+func WithDataset(ds *Dataset) Option {
+	return func(o *engineConfig) { o.ds = ds }
+}
+
 // WithProgress registers an observer for per-stage progress events. The
 // function is called synchronously, in stage order, from the goroutine
 // driving the stage; it must not block for long.
@@ -120,7 +143,53 @@ func NewEngine(ctx context.Context, ds *Dataset, site *AnnotationSite, opts ...O
 	for _, opt := range opts {
 		opt(&ec)
 	}
+	if ec.ds != nil {
+		return nil, errors.New("memes: WithDataset applies only to LoadEngine; NewEngine receives its dataset positionally")
+	}
 	b, err := pipeline.Build(ctx, ds, site, ec.cfg, ec.progress)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{build: b}, nil
+}
+
+// Save writes a versioned binary snapshot of the engine's build phase
+// (Steps 2-5 output: config echo, per-community clusterings, cluster
+// metadata, medoid hashes) to w. LoadEngine reconstitutes a serving engine
+// from the snapshot without re-running the build — build once on a big box,
+// ship the snapshot, serve anywhere. The medoid index is rebuilt from the
+// persisted medoids on load, so snapshots are index-strategy-agnostic; the
+// dataset and the annotation site are likewise not persisted (the site is
+// re-bound at load, a dataset optionally so).
+func (e *Engine) Save(w io.Writer) error { return e.build.Save(w) }
+
+// LoadEngine reads a snapshot written by Engine.Save and returns an Engine
+// serving queries against it, skipping the entire Steps 2-5 build. The
+// annotation site must carry the entries the snapshot references (use the
+// same filtered site the build used); a mismatch fails loudly.
+//
+// The build-phase configuration (clustering thresholds) is restored from
+// the snapshot and is an echo only — the clusters are already built.
+// Serving options do take effect: WithWorkers and WithIndex override the
+// snapshot's worker count and index strategy, WithDataset binds a corpus so
+// Engine.Result can materialise the legacy full-corpus result, and
+// WithProgress observes the single "load" stage event pair (the observable
+// proof that Steps 2-5 never ran).
+func LoadEngine(r io.Reader, site *AnnotationSite, opts ...Option) (*Engine, error) {
+	ec := engineConfig{cfg: DefaultPipelineConfig()}
+	for _, opt := range opts {
+		opt(&ec)
+	}
+	b, err := pipeline.LoadBuild(r, site, ec.ds, func(cfg *PipelineConfig) {
+		// Re-apply the options over the decoded snapshot configuration, so
+		// explicit overrides win and everything else keeps the build-time
+		// echo.
+		over := engineConfig{cfg: *cfg}
+		for _, opt := range opts {
+			opt(&over)
+		}
+		*cfg = over.cfg
+	}, ec.progress)
 	if err != nil {
 		return nil, err
 	}
@@ -175,13 +244,16 @@ func (e *Engine) BuildStats() RunStats { return e.build.Stats() }
 // of the build dataset (Step 6) and merging the build stats. The result is
 // computed once and cached; subsequent calls return the same pointer.
 // Goroutine-safe. Clusters, associations, and summaries are identical to
-// what Run produces for the same dataset and configuration.
+// what Run produces for the same dataset and configuration. An engine
+// loaded from a snapshot must have a corpus bound (LoadEngine with
+// WithDataset) or Result panics; Associate and Match never need one.
 func (e *Engine) Result() *Result {
 	res, err := e.result()
 	if err != nil {
-		// Unreachable today: with a background context the only error
-		// source in BuildResult.Result is cancellation. Fail loudly if a
-		// future error path appears rather than handing callers a nil.
+		// Reachable when the engine was loaded from a snapshot without
+		// WithDataset — Result needs the build corpus to associate. Fail
+		// loudly with the fix in the message rather than handing callers
+		// a nil.
 		panic("memes: Engine.Result materialisation failed: " + err.Error())
 	}
 	return res

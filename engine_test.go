@@ -1,6 +1,7 @@
 package memes
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"reflect"
@@ -371,6 +372,188 @@ func TestEngineProgressDerivesStats(t *testing.T) {
 	}
 	if bs.Total <= 0 || bs.Clusters != len(eng.Clusters()) {
 		t.Fatalf("BuildStats totals implausible: %+v", bs)
+	}
+}
+
+// TestEngineIndexStrategiesIdentical is the tentpole acceptance criterion:
+// every registered index strategy, at several worker counts, serves
+// bitwise-identical Associate/Match/Result output.
+func TestEngineIndexStrategiesIdentical(t *testing.T) {
+	ds, site := engineTestCorpus(t)
+	ctx := context.Background()
+
+	if len(IndexStrategies()) < 3 {
+		t.Fatalf("expected >= 3 registered index strategies, got %v", IndexStrategies())
+	}
+
+	type outputs struct {
+		assoc   []Association
+		matches []Match
+		res     *Result
+	}
+	capture := func(eng *Engine) outputs {
+		t.Helper()
+		assoc, err := eng.Associate(ctx, ds.Posts)
+		if err != nil {
+			t.Fatalf("Associate: %v", err)
+		}
+		var ms []Match
+		for _, c := range eng.Clusters() {
+			m, ok, err := eng.Match(ctx, c.MedoidHash)
+			if err != nil {
+				t.Fatalf("Match: %v", err)
+			}
+			if ok {
+				ms = append(ms, m)
+			}
+		}
+		return outputs{assoc: assoc, matches: ms, res: eng.Result()}
+	}
+
+	base, err := NewEngine(ctx, ds, site) // default strategy, default workers
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	want := capture(base)
+	if len(want.assoc) == 0 || len(want.matches) == 0 {
+		t.Fatal("baseline engine produced no output; corpus too small")
+	}
+
+	for _, strategy := range IndexStrategies() {
+		for _, workers := range []int{1, 4} {
+			eng, err := NewEngine(ctx, ds, site, WithIndex(strategy), WithWorkers(workers))
+			if err != nil {
+				t.Fatalf("NewEngine(%s, w=%d): %v", strategy, workers, err)
+			}
+			got := capture(eng)
+			if !reflect.DeepEqual(got.assoc, want.assoc) {
+				t.Errorf("%s/w%d: Associate diverges from default engine", strategy, workers)
+			}
+			if !reflect.DeepEqual(got.matches, want.matches) {
+				t.Errorf("%s/w%d: Match diverges from default engine", strategy, workers)
+			}
+			if !reflect.DeepEqual(got.res.Associations, want.res.Associations) ||
+				!reflect.DeepEqual(got.res.Clusters, want.res.Clusters) ||
+				!reflect.DeepEqual(got.res.PerCommunity, want.res.PerCommunity) {
+				t.Errorf("%s/w%d: Result diverges from default engine", strategy, workers)
+			}
+			if got.res.Config.Index != strategy {
+				t.Errorf("%s/w%d: config echo carries %q", strategy, workers, got.res.Config.Index)
+			}
+		}
+	}
+
+	// Unknown strategies are rejected at build time.
+	if _, err := NewEngine(ctx, ds, site, WithIndex("bogus")); err == nil {
+		t.Fatal("bogus index strategy accepted")
+	}
+}
+
+// TestEngineSaveLoad covers the snapshot workflow end to end at the public
+// surface: Save → LoadEngine serves identical output with zero Steps 2-5
+// work (only the load stage appears in the event stream), and Result works
+// once a dataset is bound.
+func TestEngineSaveLoad(t *testing.T) {
+	ds, site := engineTestCorpus(t)
+	ctx := context.Background()
+	eng, err := NewEngine(ctx, ds, site)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := eng.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	snap := buf.Bytes()
+
+	var events []StageEvent
+	loaded, err := LoadEngine(bytes.NewReader(snap), site,
+		WithDataset(ds),
+		WithProgress(func(ev StageEvent) { events = append(events, ev) }))
+	if err != nil {
+		t.Fatalf("LoadEngine: %v", err)
+	}
+
+	// Zero Steps 2-5 work: the event stream is exactly load-start,
+	// load-done, and the stats agree.
+	if len(events) != 2 || events[0].Stage != "load" || events[0].Done ||
+		events[1].Stage != "load" || !events[1].Done {
+		t.Fatalf("load event stream = %+v, want load start+done only", events)
+	}
+	bs := loaded.BuildStats()
+	if len(bs.Stages) != 1 || bs.Stages[0].Name != "load" {
+		t.Fatalf("loaded BuildStats stages = %+v", bs.Stages)
+	}
+	for _, forbidden := range []string{"cluster", "annotate"} {
+		if _, ok := bs.Stage(forbidden); ok {
+			t.Fatalf("loaded engine ran build stage %q", forbidden)
+		}
+	}
+
+	// Identical serving behaviour.
+	wantAssoc, err := eng.Associate(ctx, ds.Posts)
+	if err != nil {
+		t.Fatalf("Associate: %v", err)
+	}
+	gotAssoc, err := loaded.Associate(ctx, ds.Posts)
+	if err != nil {
+		t.Fatalf("loaded Associate: %v", err)
+	}
+	if !reflect.DeepEqual(gotAssoc, wantAssoc) {
+		t.Fatal("loaded engine's Associate diverges from the original")
+	}
+	if !reflect.DeepEqual(loaded.Clusters(), eng.Clusters()) {
+		t.Fatal("loaded engine's Clusters diverge from the original")
+	}
+	if !reflect.DeepEqual(loaded.Communities(), eng.Communities()) {
+		t.Fatal("loaded engine's Communities diverge from the original")
+	}
+
+	// Result materialises identically (Stats excepted, as documented).
+	want, got := eng.Result(), loaded.Result()
+	if !reflect.DeepEqual(got.Associations, want.Associations) ||
+		!reflect.DeepEqual(got.Clusters, want.Clusters) ||
+		!reflect.DeepEqual(got.PerCommunity, want.PerCommunity) ||
+		!reflect.DeepEqual(got.Config, want.Config) {
+		t.Fatal("loaded engine's Result diverges from the original")
+	}
+
+	// Load-time strategy override: same results under every strategy.
+	for _, strategy := range IndexStrategies() {
+		alt, err := LoadEngine(bytes.NewReader(snap), site, WithIndex(strategy))
+		if err != nil {
+			t.Fatalf("LoadEngine(%s): %v", strategy, err)
+		}
+		altAssoc, err := alt.Associate(ctx, ds.Posts)
+		if err != nil {
+			t.Fatalf("Associate(%s): %v", strategy, err)
+		}
+		if !reflect.DeepEqual(altAssoc, wantAssoc) {
+			t.Fatalf("strategy %s serves different associations from a snapshot", strategy)
+		}
+	}
+
+	// A dataset-less load serves queries but cannot materialise Result.
+	bare, err := LoadEngine(bytes.NewReader(snap), site)
+	if err != nil {
+		t.Fatalf("LoadEngine without dataset: %v", err)
+	}
+	if _, _, err := bare.Match(ctx, eng.Clusters()[0].MedoidHash); err != nil {
+		t.Fatalf("dataset-less Match: %v", err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Result on a dataset-less engine should panic")
+			}
+		}()
+		bare.Result()
+	}()
+
+	// WithDataset is a load-time option only.
+	if _, err := NewEngine(ctx, ds, site, WithDataset(ds)); err == nil {
+		t.Fatal("NewEngine accepted WithDataset")
 	}
 }
 

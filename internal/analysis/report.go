@@ -35,9 +35,18 @@ func (r *Report) Result() *pipeline.Result { return r.res }
 // Metric exposes the distance metric used for Figures 6 and 7.
 func (r *Report) Metric() *distance.Metric { return r.metric }
 
-// RenderAll produces the full paper report: every table and figure in order.
-func (r *Report) RenderAll() (string, error) {
-	var b strings.Builder
+// Section is one rendered report section: a table or figure of the paper.
+type Section struct {
+	// Title names the paper table or figure the section reproduces.
+	Title string `json:"title"`
+	// Body is the rendered text of the section.
+	Body string `json:"body"`
+}
+
+// Sections renders every table and figure of the paper in order and returns
+// them individually, so callers (cmd/memereport's JSON mode, dashboards)
+// can consume the report structurally instead of as one text blob.
+func (r *Report) Sections() ([]Section, error) {
 	sections := []struct {
 		title  string
 		render func() (string, error)
@@ -66,13 +75,28 @@ func (r *Report) RenderAll() (string, error) {
 		{"Figure 19: screenshot classifier ROC", r.RenderFigure19},
 		{"Appendix B: annotation quality", r.RenderAppendixB},
 	}
+	out := make([]Section, 0, len(sections))
 	for _, s := range sections {
 		text, err := s.render()
 		if err != nil {
-			return "", fmt.Errorf("rendering %q: %w", s.title, err)
+			return nil, fmt.Errorf("rendering %q: %w", s.title, err)
 		}
-		b.WriteString("== " + s.title + " ==\n")
-		b.WriteString(text)
+		out = append(out, Section{Title: s.title, Body: text})
+	}
+	return out, nil
+}
+
+// RenderAll produces the full paper report: every table and figure in order,
+// as one text document.
+func (r *Report) RenderAll() (string, error) {
+	sections, err := r.Sections()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, s := range sections {
+		b.WriteString("== " + s.Title + " ==\n")
+		b.WriteString(s.Body)
 		b.WriteString("\n")
 	}
 	return b.String(), nil

@@ -1,0 +1,57 @@
+// Package cli holds the small rendering helpers shared by the command-line
+// front-ends, so cmd/memepipeline and cmd/memereport emit one and the same
+// machine-readable contract instead of hand-synchronised copies.
+package cli
+
+import (
+	"time"
+
+	"github.com/memes-pipeline/memes/internal/pipeline"
+)
+
+// StageJSON is one pipeline stage in the JSON stats block.
+type StageJSON struct {
+	Name        string  `json:"name"`
+	DurationMS  float64 `json:"duration_ms"`
+	Items       int     `json:"items"`
+	ItemsPerSec float64 `json:"items_per_sec"`
+}
+
+// StatsJSON is the JSON rendering of pipeline.RunStats emitted by every
+// CLI's -format json mode.
+type StatsJSON struct {
+	Workers           int         `json:"workers"`
+	Stages            []StageJSON `json:"stages"`
+	TotalMS           float64     `json:"total_ms"`
+	FringeImages      int         `json:"fringe_images"`
+	TotalImages       int         `json:"total_images"`
+	Clusters          int         `json:"clusters"`
+	AnnotatedClusters int         `json:"annotated_clusters"`
+	Associations      int         `json:"associations"`
+	ImagesPerSec      float64     `json:"images_per_sec"`
+}
+
+// StatsDoc converts run stats to their JSON form. The Stages slice is
+// always non-nil so the contract is an array, never null.
+func StatsDoc(s pipeline.RunStats) StatsJSON {
+	doc := StatsJSON{
+		Stages:            []StageJSON{},
+		Workers:           s.Workers,
+		TotalMS:           float64(s.Total) / float64(time.Millisecond),
+		FringeImages:      s.FringeImages,
+		TotalImages:       s.TotalImages,
+		Clusters:          s.Clusters,
+		AnnotatedClusters: s.AnnotatedClusters,
+		Associations:      s.Associations,
+		ImagesPerSec:      s.ImagesPerSec(),
+	}
+	for _, st := range s.Stages {
+		doc.Stages = append(doc.Stages, StageJSON{
+			Name:        st.Name,
+			DurationMS:  float64(st.Duration) / float64(time.Millisecond),
+			Items:       st.Items,
+			ItemsPerSec: st.Throughput(),
+		})
+	}
+	return doc
+}

@@ -1,0 +1,163 @@
+// Package index defines the pluggable medoid-index layer of the serve path:
+// the MedoidIndex interface every Step 6 search structure implements, and a
+// registry of named strategies the pipeline configuration selects among.
+//
+// The paper runs Step 6 — associating every post image with a fixed set of
+// annotated cluster medoids — on a GPU-backed pairwise comparison engine.
+// This repository replaces it with exact nearest-neighbour indexes over
+// 64-bit perceptual hashes; all registered strategies return identical match
+// sets for identical inserts, so swapping strategies changes only the cost
+// profile, never the pipeline output. The index is rebuilt from medoid
+// hashes whenever an engine is constructed or loaded from a snapshot, which
+// keeps persisted engines strategy-agnostic.
+package index
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/memes-pipeline/memes/internal/phash"
+)
+
+// MedoidIndex is an exact radius/nearest-neighbour index over 64-bit
+// perceptual hashes with the Hamming distance as metric. Implementations
+// need not support concurrent mutation, but concurrent queries after all
+// inserts are complete must be safe — that is the build-once / query-many
+// contract the engine relies on.
+type MedoidIndex interface {
+	// Insert adds a hash with an associated item identifier. Duplicate
+	// hashes are merged: a radius or nearest query returns one match per
+	// distinct hash carrying every ID inserted for it.
+	Insert(h phash.Hash, id int64)
+	// Radius returns all stored hashes within Hamming distance radius of q,
+	// together with their item IDs. Results may be returned in any order;
+	// the match set (hashes, distances, ID multiset) must equal what a
+	// linear scan produces.
+	Radius(q phash.Hash, radius int) []phash.Match
+	// Nearest returns the stored hash closest to q. The boolean is false
+	// when the index is empty.
+	Nearest(q phash.Hash) (phash.Match, bool)
+	// Len returns the number of (hash, id) pairs inserted.
+	Len() int
+	// Walk visits every distinct stored hash with its IDs in unspecified
+	// order. Returning false from fn stops the walk early.
+	Walk(fn func(h phash.Hash, ids []int64) bool)
+}
+
+// WorkerBound is implemented by indexes whose queries fan work out
+// internally (ShardedBK). The pipeline calls SetWorkers with its configured
+// worker bound right after construction, so one Config.Workers knob governs
+// every stage including per-query index parallelism; n == 0 means
+// GOMAXPROCS, n == 1 means fully sequential queries. Implementations must
+// serve identical results for any value.
+type WorkerBound interface {
+	SetWorkers(n int)
+}
+
+// Strategy names a registered MedoidIndex implementation. The zero value
+// selects the default strategy.
+type Strategy string
+
+// The built-in strategies.
+const (
+	// BKTree is a Burkhard-Keller tree: one shared metric tree, no
+	// per-query parallelism. The default.
+	BKTree Strategy = "bktree"
+	// MultiIndex is multi-index hashing: banded exact lookup tables with
+	// distance-1 band probing, falling back to a parallel linear scan for
+	// large radii.
+	MultiIndex Strategy = "multiindex"
+	// Sharded partitions hashes across per-shard BK-trees and fans radius
+	// queries out across the shards in parallel.
+	Sharded Strategy = "sharded"
+)
+
+// Default is the strategy used when none is configured.
+const Default = BKTree
+
+// Every built-in implementation must satisfy the interface.
+var (
+	_ MedoidIndex = (*phash.BKTree)(nil)
+	_ MedoidIndex = (*phash.MultiIndex)(nil)
+	_ MedoidIndex = (*ShardedBK)(nil)
+)
+
+var (
+	mu        sync.RWMutex
+	factories = map[Strategy]func() MedoidIndex{}
+)
+
+func init() {
+	MustRegister(BKTree, func() MedoidIndex { return phash.NewBKTree() })
+	MustRegister(MultiIndex, func() MedoidIndex { return phash.NewMultiIndex() })
+	MustRegister(Sharded, func() MedoidIndex { return NewShardedBK(0) })
+}
+
+// Register adds a named strategy. It fails on an empty name or a duplicate
+// registration, so strategies cannot silently shadow each other.
+func Register(s Strategy, factory func() MedoidIndex) error {
+	if s == "" {
+		return fmt.Errorf("index: cannot register empty strategy name")
+	}
+	if factory == nil {
+		return fmt.Errorf("index: nil factory for strategy %q", s)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := factories[s]; dup {
+		return fmt.Errorf("index: strategy %q already registered", s)
+	}
+	factories[s] = factory
+	return nil
+}
+
+// MustRegister is Register that panics on error; for init-time registration.
+func MustRegister(s Strategy, factory func() MedoidIndex) {
+	if err := Register(s, factory); err != nil {
+		panic(err)
+	}
+}
+
+// New constructs an empty index for the strategy; the empty strategy yields
+// the Default.
+func New(s Strategy) (MedoidIndex, error) {
+	if s == "" {
+		s = Default
+	}
+	mu.RLock()
+	factory := factories[s]
+	mu.RUnlock()
+	if factory == nil {
+		return nil, fmt.Errorf("index: unknown strategy %q (registered: %v)", s, Strategies())
+	}
+	return factory(), nil
+}
+
+// Validate reports whether the strategy is registered; the empty strategy is
+// valid and means Default.
+func (s Strategy) Validate() error {
+	if s == "" {
+		return nil
+	}
+	mu.RLock()
+	_, ok := factories[s]
+	mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("index: unknown strategy %q (registered: %v)", s, Strategies())
+	}
+	return nil
+}
+
+// Strategies lists every registered strategy in sorted order, for CLIs,
+// benchmarks, and error messages.
+func Strategies() []Strategy {
+	mu.RLock()
+	out := make([]Strategy, 0, len(factories))
+	for s := range factories {
+		out = append(out, s)
+	}
+	mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,161 @@
+package index
+
+import (
+	"math/bits"
+
+	"github.com/memes-pipeline/memes/internal/parallel"
+	"github.com/memes-pipeline/memes/internal/phash"
+)
+
+// ShardedBK partitions hashes across per-shard BK-trees by a multiplicative
+// hash of the stored key, and fans radius queries out across the shards on
+// the internal/parallel worker pool. Every distinct hash lives in exactly
+// one shard, so per-shard results concatenate into the exact global match
+// set with no cross-shard merging.
+//
+// Sharding buys two things over a single tree: queries exploit multiple
+// cores (each shard is searched independently), and each shard's tree is
+// shallower, so the triangle-inequality pruning discards candidates earlier.
+// Like the other strategies it is exact — the match set is identical to a
+// linear scan.
+//
+// ShardedBK is not safe for concurrent mutation; concurrent queries after
+// all inserts are complete are safe.
+type ShardedBK struct {
+	shards  []*phash.BKTree
+	shift   uint // 64 - log2(len(shards)); maps a mixed hash to its shard
+	size    int
+	workers int // per-query fan-out bound; 0 = GOMAXPROCS (see SetWorkers)
+}
+
+// defaultShards is the shard count used when none is given: enough to keep
+// every core of a typical serving box busy on one query without slicing the
+// trees so thin that per-shard pruning stops paying.
+const defaultShards = 16
+
+// NewShardedBK returns an empty sharded index with the given shard count,
+// rounded up to a power of two; n <= 0 selects the default. The shard count
+// only shapes the cost profile — query results are identical for any value.
+func NewShardedBK(n int) *ShardedBK {
+	if n <= 0 {
+		n = defaultShards
+	}
+	// Round up to a power of two so shard selection is a shift, not a mod.
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
+	s := &ShardedBK{
+		shards: make([]*phash.BKTree, pow),
+		shift:  uint(64 - bits.TrailingZeros(uint(pow))),
+	}
+	for i := range s.shards {
+		s.shards[i] = phash.NewBKTree()
+	}
+	return s
+}
+
+// shardOf maps a hash to its shard. The multiplicative mix (Fibonacci
+// hashing) spreads the near-duplicate hashes a meme corpus is full of across
+// shards even though they differ in only a few bits.
+func (s *ShardedBK) shardOf(h phash.Hash) int {
+	if s.shift >= 64 {
+		return 0 // single shard
+	}
+	return int((uint64(h) * 0x9E3779B97F4A7C15) >> s.shift)
+}
+
+// NumShards returns the shard count (a power of two).
+func (s *ShardedBK) NumShards() int { return len(s.shards) }
+
+// SetWorkers bounds the per-query fan-out (0 = GOMAXPROCS), implementing
+// WorkerBound so the pipeline's Config.Workers governs this index like
+// every other stage. With workers == 1 queries run fully sequentially — no
+// goroutines are spawned. Results are identical for any value.
+func (s *ShardedBK) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.workers = n
+}
+
+// Len returns the number of (hash, id) pairs inserted.
+func (s *ShardedBK) Len() int { return s.size }
+
+// Insert adds a hash with an associated item identifier to its shard.
+func (s *ShardedBK) Insert(h phash.Hash, id int64) {
+	s.size++
+	s.shards[s.shardOf(h)].Insert(h, id)
+}
+
+// Radius returns all stored hashes within Hamming distance radius of q. The
+// per-shard queries run concurrently on the shared worker pool; results are
+// concatenated in shard order, so the output is deterministic.
+func (s *ShardedBK) Radius(q phash.Hash, radius int) []phash.Match {
+	if s.size == 0 || radius < 0 {
+		return nil
+	}
+	parts := parallel.Map(len(s.shards), s.workers, func(i int) []phash.Match {
+		return s.shards[i].Radius(q, radius)
+	})
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]phash.Match, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Nearest returns the stored hash closest to q. Each shard reports its own
+// nearest; ties between shards at the same distance are broken by the lowest
+// hash value, so the result is deterministic.
+func (s *ShardedBK) Nearest(q phash.Hash) (phash.Match, bool) {
+	if s.size == 0 {
+		return phash.Match{}, false
+	}
+	type res struct {
+		m  phash.Match
+		ok bool
+	}
+	parts := parallel.Map(len(s.shards), s.workers, func(i int) res {
+		m, ok := s.shards[i].Nearest(q)
+		return res{m: m, ok: ok}
+	})
+	best := phash.Match{Distance: phash.MaxDistance + 1}
+	found := false
+	for _, r := range parts {
+		if !r.ok {
+			continue
+		}
+		if !found || r.m.Distance < best.Distance ||
+			(r.m.Distance == best.Distance && r.m.Hash < best.Hash) {
+			best = r.m
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Walk visits every distinct stored hash in shard order. Returning false
+// from fn stops the walk early.
+func (s *ShardedBK) Walk(fn func(h phash.Hash, ids []int64) bool) {
+	for _, sh := range s.shards {
+		stop := false
+		sh.Walk(func(h phash.Hash, ids []int64) bool {
+			if !fn(h, ids) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}

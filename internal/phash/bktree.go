@@ -101,7 +101,9 @@ func (t *BKTree) Radius(q Hash, radius int) []Match {
 }
 
 // Nearest returns the stored hash closest to q and its distance. The boolean
-// is false when the tree is empty. Ties are broken arbitrarily.
+// is false when the tree is empty. Ties between distinct hashes at the same
+// distance are broken by the lowest hash value, so the result never depends
+// on traversal order — the determinism contract every index strategy shares.
 func (t *BKTree) Nearest(q Hash) (Match, bool) {
 	if t.root == nil {
 		return Match{}, false
@@ -112,7 +114,7 @@ func (t *BKTree) Nearest(q Hash) (Match, bool) {
 		node := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		d := Distance(q, node.hash)
-		if d < best.Distance {
+		if d < best.Distance || (d == best.Distance && node.hash < best.Hash) {
 			best = Match{Hash: node.hash, Distance: d, IDs: node.ids}
 			if d == 0 {
 				return best, true

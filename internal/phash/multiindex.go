@@ -103,6 +103,51 @@ func (m *MultiIndex) Radius(q Hash, radius int) []Match {
 	return mergeMatches(out)
 }
 
+// Nearest returns the stored hash closest to q and its distance, with the
+// IDs of every entry sharing that hash. The boolean is false when the index
+// is empty. Ties between distinct hashes at the same distance are broken by
+// the lowest hash value, so the result is deterministic.
+func (m *MultiIndex) Nearest(q Hash) (Match, bool) {
+	if len(m.hashes) == 0 {
+		return Match{}, false
+	}
+	bestDist := MaxDistance + 1
+	var bestHash Hash
+	for _, h := range m.hashes {
+		d := Distance(q, h)
+		if d < bestDist || (d == bestDist && h < bestHash) {
+			bestDist, bestHash = d, h
+		}
+	}
+	var ids []int64
+	for i, h := range m.hashes {
+		if h == bestHash {
+			ids = append(ids, m.ids[i])
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return Match{Hash: bestHash, Distance: bestDist, IDs: ids}, true
+}
+
+// Walk visits every distinct hash stored in the index, with the IDs of all
+// entries sharing it, in unspecified order. Returning false from fn stops
+// the walk early.
+func (m *MultiIndex) Walk(fn func(h Hash, ids []int64) bool) {
+	byHash := make(map[Hash][]int64, len(m.hashes))
+	order := make([]Hash, 0, len(m.hashes))
+	for i, h := range m.hashes {
+		if _, seen := byHash[h]; !seen {
+			order = append(order, h)
+		}
+		byHash[h] = append(byHash[h], m.ids[i])
+	}
+	for _, h := range order {
+		if !fn(h, byHash[h]) {
+			return
+		}
+	}
+}
+
 // linearRadius performs an exact parallel scan; used for large radii where
 // banded probing is no longer guaranteed exact.
 func (m *MultiIndex) linearRadius(q Hash, radius int) []Match {

@@ -9,23 +9,28 @@ import (
 	"github.com/memes-pipeline/memes/internal/annotate"
 	"github.com/memes-pipeline/memes/internal/cluster"
 	"github.com/memes-pipeline/memes/internal/dataset"
+	"github.com/memes-pipeline/memes/internal/index"
 	"github.com/memes-pipeline/memes/internal/parallel"
 	"github.com/memes-pipeline/memes/internal/phash"
 )
 
 // BuildResult is the resident output of the build phase (Steps 2-5): the
 // per-community clusterings, the annotated clusters, and the read-only
-// BK-tree over annotated-cluster medoids that Step 6 queries. Build it once,
-// then serve any number of Associate / Match queries against it — the
+// medoid index over annotated-cluster medoids that Step 6 queries. Build it
+// once, then serve any number of Associate / Match queries against it — the
 // build/serve split the paper implies when it runs Step 6 over 160M images
-// against a fixed set of annotated clusters.
+// against a fixed set of annotated clusters. The index strategy is selected
+// by Config.Index (see internal/index); every strategy serves identical
+// results.
 //
 // A BuildResult is immutable after Build returns and safe for concurrent use
-// by multiple goroutines.
+// by multiple goroutines. Save persists it; LoadBuild reconstitutes it
+// without re-running Steps 2-5.
 type BuildResult struct {
 	// Config echoes the configuration used.
 	Config Config
-	// Dataset is the corpus the build ran on.
+	// Dataset is the corpus the build ran on; nil for a BuildResult loaded
+	// from a snapshot without a bound dataset.
 	Dataset *dataset.Dataset
 	// Site is the annotation site used for Step 5.
 	Site *annotate.Site
@@ -34,10 +39,10 @@ type BuildResult struct {
 	// Clusters lists every cluster across the fringe communities; Clusters[i].ID == i.
 	Clusters []ClusterInfo
 
-	medoids    *phash.BKTree // index over annotated-cluster medoids, read-only
-	buildStats RunStats      // cluster + annotate stage records
-	buildWall  time.Duration // end-to-end wall time of Build
-	progress   ProgressFunc  // forwarded to Result's associate stage
+	medoids    index.MedoidIndex // index over annotated-cluster medoids, read-only
+	buildStats RunStats          // cluster + annotate (or load) stage records
+	buildWall  time.Duration     // end-to-end wall time of Build (or LoadBuild)
+	progress   ProgressFunc      // forwarded to Result's associate stage
 }
 
 // Match is the outcome of a single-hash lookup against the annotated
@@ -169,13 +174,9 @@ func Build(ctx context.Context, ds *dataset.Dataset, site *annotate.Site, cfg Co
 	em.done(StageAnnotate, stageStart, totalClusters)
 
 	// The Step 6 index, built once and queried by every Associate / Match.
-	b.medoids = phash.NewBKTree()
-	annotated := 0
-	for i := range b.Clusters {
-		if b.Clusters[i].Annotated() {
-			b.medoids.Insert(b.Clusters[i].MedoidHash, int64(b.Clusters[i].ID))
-			annotated++
-		}
+	annotated, err := b.buildIndex()
+	if err != nil {
+		return nil, err
 	}
 
 	b.buildStats.FringeImages = fringeImages
@@ -183,6 +184,31 @@ func Build(ctx context.Context, ds *dataset.Dataset, site *annotate.Site, cfg Co
 	b.buildStats.AnnotatedClusters = annotated
 	b.buildWall = time.Since(start)
 	return b, nil
+}
+
+// buildIndex (re)builds the Step 6 medoid index from the annotated clusters
+// using the configured strategy, and returns the annotated-cluster count. It
+// is shared by Build and LoadBuild — the index is always reconstructed from
+// medoid hashes, never persisted, so snapshots stay strategy-agnostic.
+func (b *BuildResult) buildIndex() (int, error) {
+	idx, err := index.New(b.Config.Index)
+	if err != nil {
+		return 0, err
+	}
+	// One Workers knob governs every stage: indexes with internal per-query
+	// fan-out (sharded) inherit the same bound as the post-batch workers.
+	if wb, ok := idx.(index.WorkerBound); ok {
+		wb.SetWorkers(b.Config.Workers)
+	}
+	annotated := 0
+	for i := range b.Clusters {
+		if b.Clusters[i].Annotated() {
+			idx.Insert(b.Clusters[i].MedoidHash, int64(b.Clusters[i].ID))
+			annotated++
+		}
+	}
+	b.medoids = idx
+	return annotated, nil
 }
 
 // Stats returns the build-phase stage records (cluster and annotate); the
@@ -239,8 +265,9 @@ func (b *BuildResult) Match(h phash.Hash) (Match, bool) { return b.match(h) }
 
 // match picks the deterministic winner among the radius matches: the
 // minimum distance, with ties broken by the lowest cluster ID across all
-// matches at that distance, so the BK-tree traversal order never shows
-// through.
+// matches at that distance, so the index's traversal order never shows
+// through — a hard requirement for every strategy to serve bitwise-equal
+// results.
 func (b *BuildResult) match(h phash.Hash) (Match, bool) {
 	matches := b.medoids.Radius(h, b.Config.AssociationThreshold)
 	if len(matches) == 0 {
@@ -265,6 +292,9 @@ func (b *BuildResult) match(h phash.Hash) (Match, bool) {
 // The Result shares the build's clusters and summaries; treat both as
 // read-only.
 func (b *BuildResult) Result(ctx context.Context) (*Result, error) {
+	if b.Dataset == nil {
+		return nil, errors.New("pipeline: build has no dataset bound; load the snapshot with a dataset to materialise a Result")
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}

@@ -14,8 +14,10 @@
 //
 //   - Build (Steps 2-5, expensive, offline): per-community DBSCAN fan-out,
 //     parallel medoid materialisation, batch medoid annotation, and
-//     construction of the annotated-medoid BK-tree. The output is a
-//     resident, immutable BuildResult.
+//     construction of the annotated-medoid index (a pluggable
+//     internal/index strategy selected by Config.Index). The output is a
+//     resident, immutable BuildResult, persistable with Save and
+//     reconstitutable with LoadBuild without re-running Steps 2-5.
 //   - Associate (Step 6, cheap, repeatable): any post batch — including
 //     posts not in the original dataset — streams through a worker pool
 //     against the BuildResult's medoid index. BuildResult.Match answers
@@ -38,6 +40,7 @@ import (
 	"github.com/memes-pipeline/memes/internal/cluster"
 	"github.com/memes-pipeline/memes/internal/dataset"
 	"github.com/memes-pipeline/memes/internal/distance"
+	"github.com/memes-pipeline/memes/internal/index"
 	"github.com/memes-pipeline/memes/internal/parallel"
 	"github.com/memes-pipeline/memes/internal/phash"
 )
@@ -57,6 +60,11 @@ type Config struct {
 	// zero means GOMAXPROCS. The pipeline output is identical for any
 	// worker count.
 	Workers int
+	// Index selects the medoid-index strategy the Step 6 serve path queries
+	// (see internal/index); empty means the default BK-tree. Every
+	// registered strategy produces identical associations — the choice only
+	// shapes the cost profile.
+	Index index.Strategy
 }
 
 // DefaultConfig returns the paper's parameters.
@@ -81,6 +89,9 @@ func (c Config) Validate() error {
 	}
 	if c.Workers < 0 {
 		return errors.New("pipeline: negative worker count")
+	}
+	if err := c.Index.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

@@ -1,0 +1,454 @@
+package pipeline
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"time"
+
+	"github.com/memes-pipeline/memes/internal/annotate"
+	"github.com/memes-pipeline/memes/internal/cluster"
+	"github.com/memes-pipeline/memes/internal/dataset"
+	"github.com/memes-pipeline/memes/internal/index"
+	"github.com/memes-pipeline/memes/internal/parallel"
+	"github.com/memes-pipeline/memes/internal/phash"
+)
+
+// Snapshot persistence: a BuildResult serialises to a versioned binary
+// stream so the expensive Steps 2-5 build runs once — on a big box, in a
+// batch job — and any number of serving processes reconstitute the engine
+// from the snapshot without touching the corpus. The stream carries the
+// configuration echo, the per-community clustering summaries, and every
+// cluster's metadata including its medoid hash and annotation (entries
+// referenced by name). It deliberately does NOT carry:
+//
+//   - the medoid index: it is rebuilt from the medoid hashes on load, so a
+//     snapshot written under one index strategy loads under any other;
+//   - the dataset: posts are the traffic, not the artifact — bind one at
+//     load time only if the legacy full-corpus Result is needed;
+//   - the annotation site's entries: the loader resolves entry names
+//     against the site it is given, which keeps snapshots small and makes a
+//     site/snapshot mismatch a loud error instead of silent drift.
+//
+// All integers are unsigned varints (zig-zag for signed values), strings
+// are length-prefixed UTF-8, and the payload is protected by a trailing
+// CRC-32 so truncation or corruption fails loudly. The format is versioned
+// by a magic header; readers reject versions they do not understand.
+
+// snapshotMagic identifies a snapshot stream; the trailing byte is the
+// format version.
+var snapshotMagic = [8]byte{'M', 'E', 'M', 'E', 'S', 'N', 'A', 'P'}
+
+// snapshotVersion is the current format version.
+const snapshotVersion uint32 = 1
+
+// Save writes a versioned binary snapshot of the build to w. The snapshot
+// captures everything Steps 2-5 produced; LoadBuild reconstitutes an
+// equivalent BuildResult without re-running them.
+func (b *BuildResult) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(snapshotMagic[:]); err != nil {
+		return fmt.Errorf("pipeline: writing snapshot header: %w", err)
+	}
+	var verbuf [4]byte
+	binary.LittleEndian.PutUint32(verbuf[:], snapshotVersion)
+	if _, err := bw.Write(verbuf[:]); err != nil {
+		return fmt.Errorf("pipeline: writing snapshot header: %w", err)
+	}
+
+	// Everything after the header streams through the CRC.
+	crc := crc32.NewIEEE()
+	enc := &snapEncoder{w: io.MultiWriter(bw, crc)}
+
+	// Config echo.
+	enc.uvarint(uint64(b.Config.Clustering.Eps))
+	enc.uvarint(uint64(b.Config.Clustering.MinPts))
+	enc.uvarint(uint64(b.Config.AnnotationThreshold))
+	enc.uvarint(uint64(b.Config.AssociationThreshold))
+	enc.uvarint(uint64(b.Config.Workers))
+	enc.string(string(b.Config.Index))
+
+	// Per-community summaries, in the fixed dataset.Communities() order so
+	// the byte stream is identical across runs and worker counts.
+	comms := b.Communities()
+	enc.uvarint(uint64(len(comms)))
+	for _, c := range comms {
+		s := b.PerCommunity[c]
+		enc.uvarint(uint64(c))
+		enc.uvarint(uint64(s.Images))
+		enc.uvarint(uint64(s.DistinctHashes))
+		enc.uvarint(uint64(s.NoiseImages))
+		enc.uvarint(uint64(s.Clusters))
+		enc.uvarint(uint64(s.Annotated))
+	}
+
+	// Clusters with their medoid hashes and annotations (entries by name).
+	enc.uvarint(uint64(len(b.Clusters)))
+	for i := range b.Clusters {
+		ci := &b.Clusters[i]
+		enc.uvarint(uint64(ci.ID))
+		enc.uvarint(uint64(ci.Community))
+		enc.varint(int64(ci.Label))
+		enc.uint64(uint64(ci.MedoidHash))
+		enc.uvarint(uint64(ci.Images))
+		enc.uvarint(uint64(ci.DistinctHashes))
+		enc.bool(ci.Racist)
+		enc.bool(ci.Political)
+		enc.uvarint(uint64(len(ci.Annotation.Matches)))
+		for _, m := range ci.Annotation.Matches {
+			enc.string(m.Entry.Name)
+			enc.uvarint(uint64(m.Matches))
+			enc.float64(m.MatchFraction)
+			enc.float64(m.MeanDistance)
+		}
+		rep := ""
+		if ci.Annotation.Representative != nil {
+			rep = ci.Annotation.Representative.Name
+		}
+		enc.string(rep)
+	}
+	if enc.err != nil {
+		return fmt.Errorf("pipeline: writing snapshot: %w", enc.err)
+	}
+
+	// Trailing CRC over the payload.
+	var crcbuf [4]byte
+	binary.LittleEndian.PutUint32(crcbuf[:], crc.Sum32())
+	if _, err := bw.Write(crcbuf[:]); err != nil {
+		return fmt.Errorf("pipeline: writing snapshot checksum: %w", err)
+	}
+	return bw.Flush()
+}
+
+// LoadBuild reads a snapshot written by Save and reconstitutes a BuildResult
+// bound to the given annotation site, rebuilding the medoid index from the
+// persisted medoid hashes — no Steps 2-5 work runs. Annotation entries are
+// resolved by name against site; a snapshot whose entries the site does not
+// carry fails loudly.
+//
+// ds may be nil: Associate and Match serve arbitrary posts without it, and
+// only the legacy full-corpus Result requires a bound dataset. reconfig, if
+// non-nil, may adjust the decoded configuration (worker count, index
+// strategy) before the index is rebuilt; changing build-phase thresholds has
+// no effect on the already-built clusters and only skews the config echo.
+// progress observes a single StageLoad start/completion event pair.
+func LoadBuild(r io.Reader, site *annotate.Site, ds *dataset.Dataset, reconfig func(*Config), progress ProgressFunc) (*BuildResult, error) {
+	if site == nil {
+		return nil, errors.New("pipeline: nil annotation site")
+	}
+	start := time.Now()
+
+	br := bufio.NewReader(r)
+	var header [12]byte
+	if _, err := io.ReadFull(br, header[:]); err != nil {
+		return nil, fmt.Errorf("pipeline: reading snapshot header: %w", err)
+	}
+	if [8]byte(header[:8]) != snapshotMagic {
+		return nil, errors.New("pipeline: not a snapshot stream (bad magic)")
+	}
+	if v := binary.LittleEndian.Uint32(header[8:12]); v != snapshotVersion {
+		return nil, fmt.Errorf("pipeline: unsupported snapshot version %d (supported: %d)", v, snapshotVersion)
+	}
+
+	crc := crc32.NewIEEE()
+	dec := &snapDecoder{r: br, crc: crc}
+
+	b := &BuildResult{
+		Site:         site,
+		Dataset:      ds,
+		PerCommunity: make(map[dataset.Community]CommunityClustering),
+	}
+	b.Config = Config{
+		Clustering: cluster.DBSCANConfig{
+			Eps:    int(dec.uvarint()),
+			MinPts: int(dec.uvarint()),
+		},
+		AnnotationThreshold:  int(dec.uvarint()),
+		AssociationThreshold: int(dec.uvarint()),
+		Workers:              int(dec.uvarint()),
+		Index:                index.Strategy(dec.string()),
+	}
+
+	// Decode phase: only structural reads, no semantic validation — a
+	// corrupt stream must be diagnosed by the CRC check below, not by
+	// whichever garbled value happens to trip a validity rule first. Entry
+	// names are held as strings and resolved afterwards.
+	type matchRaw struct {
+		name          string
+		matches       int
+		matchFraction float64
+		meanDistance  float64
+	}
+	type clusterRaw struct {
+		info    ClusterInfo
+		matches []matchRaw
+		rep     string
+	}
+
+	nComms := int(dec.uvarint())
+	type commRaw struct {
+		c dataset.Community
+		s CommunityClustering
+	}
+	var comms []commRaw
+	for i := 0; i < nComms && dec.err == nil; i++ {
+		c := dataset.Community(dec.uvarint())
+		comms = append(comms, commRaw{c: c, s: CommunityClustering{
+			Community:      c,
+			Images:         int(dec.uvarint()),
+			DistinctHashes: int(dec.uvarint()),
+			NoiseImages:    int(dec.uvarint()),
+			Clusters:       int(dec.uvarint()),
+			Annotated:      int(dec.uvarint()),
+		}})
+	}
+
+	nClusters := int(dec.uvarint())
+	var clusters []clusterRaw
+	if dec.err == nil && nClusters > 0 {
+		// Cap the pre-allocation: a corrupt count must not trigger a huge
+		// allocation before the CRC check gets a chance to reject the
+		// stream. The slice still grows to the true size via append.
+		capHint := nClusters
+		if capHint > 1<<16 {
+			capHint = 1 << 16
+		}
+		clusters = make([]clusterRaw, 0, capHint)
+	}
+	for i := 0; i < nClusters && dec.err == nil; i++ {
+		cr := clusterRaw{info: ClusterInfo{
+			ID:         int(dec.uvarint()),
+			Community:  dataset.Community(dec.uvarint()),
+			Label:      int(dec.varint()),
+			MedoidHash: phash.Hash(dec.uint64()),
+		}}
+		cr.info.Images = int(dec.uvarint())
+		cr.info.DistinctHashes = int(dec.uvarint())
+		cr.info.Racist = dec.bool()
+		cr.info.Political = dec.bool()
+		nMatches := int(dec.uvarint())
+		for j := 0; j < nMatches && dec.err == nil; j++ {
+			cr.matches = append(cr.matches, matchRaw{
+				name:          dec.string(),
+				matches:       int(dec.uvarint()),
+				matchFraction: dec.float64(),
+				meanDistance:  dec.float64(),
+			})
+		}
+		cr.rep = dec.string()
+		clusters = append(clusters, cr)
+	}
+	if dec.err != nil {
+		return nil, fmt.Errorf("pipeline: reading snapshot: %w", dec.err)
+	}
+
+	// Verify the payload checksum before trusting (or validating) any of it.
+	want := crc.Sum32()
+	var crcbuf [4]byte
+	if _, err := io.ReadFull(br, crcbuf[:]); err != nil {
+		return nil, fmt.Errorf("pipeline: reading snapshot checksum: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(crcbuf[:]); got != want {
+		return nil, fmt.Errorf("pipeline: snapshot checksum mismatch (stored %08x, computed %08x): stream corrupt", got, want)
+	}
+
+	// Validation and resolution phase: the stream is intact, so every
+	// failure from here on is a genuine semantic mismatch (wrong site,
+	// incompatible producer), not corruption.
+	for _, cr := range comms {
+		if !cr.c.Valid() {
+			return nil, fmt.Errorf("pipeline: snapshot names invalid community %d", int(cr.c))
+		}
+		b.PerCommunity[cr.c] = cr.s
+	}
+	for _, cr := range clusters {
+		ci := cr.info
+		for _, m := range cr.matches {
+			em := annotate.EntryMatch{
+				Matches:       m.matches,
+				MatchFraction: m.matchFraction,
+				MeanDistance:  m.meanDistance,
+			}
+			if em.Entry = site.Entry(m.name); em.Entry == nil {
+				return nil, fmt.Errorf("pipeline: snapshot references entry %q not on the annotation site (wrong site, or filtered differently than at build time)", m.name)
+			}
+			ci.Annotation.Matches = append(ci.Annotation.Matches, em)
+		}
+		if cr.rep != "" {
+			if ci.Annotation.Representative = site.Entry(cr.rep); ci.Annotation.Representative == nil {
+				return nil, fmt.Errorf("pipeline: snapshot references entry %q not on the annotation site", cr.rep)
+			}
+		}
+		if ci.ID != len(b.Clusters) {
+			return nil, fmt.Errorf("pipeline: snapshot cluster %d carries ID %d (stream reordered or corrupt)", len(b.Clusters), ci.ID)
+		}
+		b.Clusters = append(b.Clusters, ci)
+	}
+
+	if reconfig != nil {
+		reconfig(&b.Config)
+	}
+	if err := b.Config.Validate(); err != nil {
+		return nil, err
+	}
+	b.progress = progress
+	b.buildStats.Workers = parallel.Workers(b.Config.Workers)
+
+	// Rebuild the medoid index — the only compute on the load path. The
+	// single load stage event is the observable proof that Steps 2-5 never
+	// ran: a loaded engine's stats carry StageLoad where a built engine's
+	// carry StageCluster and StageAnnotate.
+	em := emitter{stats: &b.buildStats, progress: progress}
+	stageStart := em.start(StageLoad)
+	annotated, err := b.buildIndex()
+	if err != nil {
+		return nil, err
+	}
+	em.done(StageLoad, stageStart, len(b.Clusters))
+
+	fringeImages := 0
+	for _, s := range b.PerCommunity {
+		fringeImages += s.Images
+	}
+	b.buildStats.FringeImages = fringeImages
+	b.buildStats.Clusters = len(b.Clusters)
+	b.buildStats.AnnotatedClusters = annotated
+	b.buildWall = time.Since(start)
+	return b, nil
+}
+
+// --- minimal codec helpers ---------------------------------------------------
+
+// snapEncoder writes the primitive snapshot vocabulary, latching the first
+// error so call sites stay linear.
+type snapEncoder struct {
+	w   io.Writer
+	err error
+	buf [binary.MaxVarintLen64]byte
+}
+
+func (e *snapEncoder) write(p []byte) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write(p)
+}
+
+func (e *snapEncoder) uvarint(v uint64) { e.write(e.buf[:binary.PutUvarint(e.buf[:], v)]) }
+func (e *snapEncoder) varint(v int64)   { e.write(e.buf[:binary.PutVarint(e.buf[:], v)]) }
+
+func (e *snapEncoder) uint64(v uint64) {
+	binary.LittleEndian.PutUint64(e.buf[:8], v)
+	e.write(e.buf[:8])
+}
+
+func (e *snapEncoder) float64(v float64) { e.uint64(math.Float64bits(v)) }
+
+func (e *snapEncoder) bool(v bool) {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	e.write([]byte{b})
+}
+
+func (e *snapEncoder) string(s string) {
+	e.uvarint(uint64(len(s)))
+	e.write([]byte(s))
+}
+
+// snapDecoder mirrors snapEncoder; every read also feeds the CRC so the
+// trailing checksum covers exactly the bytes consumed.
+type snapDecoder struct {
+	r   *bufio.Reader
+	crc io.Writer
+	err error
+}
+
+// maxSnapshotString bounds decoded string lengths so a corrupt length prefix
+// cannot trigger a huge allocation before the CRC check is reached.
+const maxSnapshotString = 1 << 20
+
+func (d *snapDecoder) readByte() byte {
+	if d.err != nil {
+		return 0
+	}
+	b, err := d.r.ReadByte()
+	if err != nil {
+		d.err = err
+		return 0
+	}
+	d.crc.Write([]byte{b})
+	return b
+}
+
+func (d *snapDecoder) read(p []byte) {
+	if d.err != nil {
+		return
+	}
+	if _, err := io.ReadFull(d.r, p); err != nil {
+		d.err = err
+		return
+	}
+	d.crc.Write(p)
+}
+
+func (d *snapDecoder) uvarint() uint64 {
+	var v uint64
+	var shift uint
+	for {
+		b := d.readByte()
+		if d.err != nil {
+			return 0
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v
+		}
+		shift += 7
+		if shift >= 64 {
+			d.err = errors.New("uvarint overflows 64 bits")
+			return 0
+		}
+	}
+}
+
+func (d *snapDecoder) varint() int64 {
+	u := d.uvarint()
+	v := int64(u >> 1)
+	if u&1 != 0 {
+		v = ^v
+	}
+	return v
+}
+
+func (d *snapDecoder) uint64() uint64 {
+	var buf [8]byte
+	d.read(buf[:])
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+func (d *snapDecoder) float64() float64 { return math.Float64frombits(d.uint64()) }
+
+func (d *snapDecoder) bool() bool { return d.readByte() != 0 }
+
+func (d *snapDecoder) string() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > maxSnapshotString {
+		d.err = fmt.Errorf("string length %d exceeds limit", n)
+		return ""
+	}
+	buf := make([]byte, n)
+	d.read(buf)
+	if d.err != nil {
+		return ""
+	}
+	return string(buf)
+}

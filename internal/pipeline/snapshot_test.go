@@ -1,0 +1,263 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/memes-pipeline/memes/internal/annotate"
+	"github.com/memes-pipeline/memes/internal/dataset"
+	"github.com/memes-pipeline/memes/internal/index"
+)
+
+// resultFingerprint strips the only legitimately run-varying field (Stats)
+// so results can be compared bitwise.
+func resultFingerprint(r *Result) Result {
+	fp := *r
+	fp.Stats = RunStats{}
+	return fp
+}
+
+// TestSnapshotRoundTripDeterminism is the satellite acceptance test: for
+// every index strategy and several worker counts, Build → Save → Load →
+// Result is byte-identical to the never-persisted engine's Result, and the
+// snapshot bytes themselves are identical across worker counts.
+func TestSnapshotRoundTripDeterminism(t *testing.T) {
+	ds, err := dataset.Generate(dataset.SmallConfig())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	site, err := ds.Site(true)
+	if err != nil {
+		t.Fatalf("Site: %v", err)
+	}
+	ctx := context.Background()
+
+	var refSnap []byte
+	for _, strategy := range index.Strategies() {
+		for _, workers := range []int{1, 8} {
+			cfg := DefaultConfig()
+			cfg.Index = strategy
+			cfg.Workers = workers
+
+			b, err := Build(ctx, ds, site, cfg, nil)
+			if err != nil {
+				t.Fatalf("%s/w%d: Build: %v", strategy, workers, err)
+			}
+			want, err := b.Result(ctx)
+			if err != nil {
+				t.Fatalf("%s/w%d: Result: %v", strategy, workers, err)
+			}
+
+			var buf bytes.Buffer
+			if err := b.Save(&buf); err != nil {
+				t.Fatalf("%s/w%d: Save: %v", strategy, workers, err)
+			}
+
+			loaded, err := LoadBuild(bytes.NewReader(buf.Bytes()), site, ds, nil, nil)
+			if err != nil {
+				t.Fatalf("%s/w%d: LoadBuild: %v", strategy, workers, err)
+			}
+			got, err := loaded.Result(ctx)
+			if err != nil {
+				t.Fatalf("%s/w%d: loaded Result: %v", strategy, workers, err)
+			}
+			if !reflect.DeepEqual(resultFingerprint(got), resultFingerprint(want)) {
+				t.Errorf("%s/w%d: loaded Result diverges from never-persisted Result", strategy, workers)
+			}
+
+			// The loaded build must have done zero Steps 2-5 work: its
+			// stats carry only the load stage.
+			bs := loaded.Stats()
+			if len(bs.Stages) != 1 || bs.Stages[0].Name != StageLoad {
+				t.Errorf("%s/w%d: loaded stats stages = %+v, want [%s]", strategy, workers, bs.Stages, StageLoad)
+			}
+			for _, forbidden := range []string{StageCluster, StageAnnotate} {
+				if _, ok := bs.Stage(forbidden); ok {
+					t.Errorf("%s/w%d: loaded stats carry build stage %q", strategy, workers, forbidden)
+				}
+			}
+
+			// Snapshot bytes are strategy- and worker-independent except
+			// for the config echo; normalise it and compare to the first.
+			norm := cfg
+			norm.Index = ""
+			norm.Workers = 0
+			b.Config = norm
+			var normBuf bytes.Buffer
+			if err := b.Save(&normBuf); err != nil {
+				t.Fatalf("%s/w%d: normalised Save: %v", strategy, workers, err)
+			}
+			if refSnap == nil {
+				refSnap = normBuf.Bytes()
+			} else if !bytes.Equal(refSnap, normBuf.Bytes()) {
+				t.Errorf("%s/w%d: snapshot bytes differ from reference build", strategy, workers)
+			}
+		}
+	}
+}
+
+// TestSnapshotServesWithoutDataset asserts the serve-only load path: a
+// snapshot loaded with a nil dataset answers Associate and Match exactly
+// like the original build, and only Result demands a bound corpus.
+func TestSnapshotServesWithoutDataset(t *testing.T) {
+	ds, err := dataset.Generate(dataset.SmallConfig())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	site, err := ds.Site(true)
+	if err != nil {
+		t.Fatalf("Site: %v", err)
+	}
+	ctx := context.Background()
+	b, err := Build(ctx, ds, site, DefaultConfig(), nil)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := b.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := LoadBuild(&buf, site, nil, nil, nil)
+	if err != nil {
+		t.Fatalf("LoadBuild: %v", err)
+	}
+
+	wantAssoc, err := b.Associate(ctx, ds.Posts)
+	if err != nil {
+		t.Fatalf("Associate: %v", err)
+	}
+	gotAssoc, err := loaded.Associate(ctx, ds.Posts)
+	if err != nil {
+		t.Fatalf("loaded Associate: %v", err)
+	}
+	if !reflect.DeepEqual(gotAssoc, wantAssoc) {
+		t.Fatal("loaded Associate diverges from original build")
+	}
+	for i := range b.Clusters {
+		wm, wok := b.Match(b.Clusters[i].MedoidHash)
+		gm, gok := loaded.Match(b.Clusters[i].MedoidHash)
+		if wok != gok || wm != gm {
+			t.Fatalf("cluster %d: loaded Match (%+v,%v) diverges from (%+v,%v)", i, gm, gok, wm, wok)
+		}
+	}
+	if _, err := loaded.Result(ctx); err == nil {
+		t.Fatal("Result on a dataset-less load should fail")
+	} else if !strings.Contains(err.Error(), "no dataset") {
+		t.Fatalf("unexpected Result error: %v", err)
+	}
+}
+
+// TestSnapshotReconfigOverrides asserts load-time overrides: the index
+// strategy and worker count can be swapped while the served results stay
+// identical.
+func TestSnapshotReconfigOverrides(t *testing.T) {
+	ds, err := dataset.Generate(dataset.SmallConfig())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	site, err := ds.Site(true)
+	if err != nil {
+		t.Fatalf("Site: %v", err)
+	}
+	ctx := context.Background()
+	b, err := Build(ctx, ds, site, DefaultConfig(), nil)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	wantAssoc, err := b.Associate(ctx, ds.Posts)
+	if err != nil {
+		t.Fatalf("Associate: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := b.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	snap := buf.Bytes()
+	for _, strategy := range index.Strategies() {
+		loaded, err := LoadBuild(bytes.NewReader(snap), site, nil, func(c *Config) {
+			c.Index = strategy
+			c.Workers = 3
+		}, nil)
+		if err != nil {
+			t.Fatalf("LoadBuild(%s): %v", strategy, err)
+		}
+		if loaded.Config.Index != strategy || loaded.Config.Workers != 3 {
+			t.Fatalf("reconfig not applied: %+v", loaded.Config)
+		}
+		got, err := loaded.Associate(ctx, ds.Posts)
+		if err != nil {
+			t.Fatalf("Associate(%s): %v", strategy, err)
+		}
+		if !reflect.DeepEqual(got, wantAssoc) {
+			t.Fatalf("strategy %s serves different associations after reload", strategy)
+		}
+	}
+	// An unknown override strategy fails validation.
+	if _, err := LoadBuild(bytes.NewReader(snap), site, nil, func(c *Config) {
+		c.Index = "bogus"
+	}, nil); err == nil {
+		t.Fatal("bogus index strategy accepted at load")
+	}
+}
+
+// TestSnapshotRejectsGarbage covers the failure modes: bad magic, bad
+// version, truncation, payload corruption, and a site that lacks the
+// referenced entries.
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	ds, err := dataset.Generate(dataset.SmallConfig())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	site, err := ds.Site(true)
+	if err != nil {
+		t.Fatalf("Site: %v", err)
+	}
+	b, err := Build(context.Background(), ds, site, DefaultConfig(), nil)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := b.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	snap := buf.Bytes()
+
+	if _, err := LoadBuild(strings.NewReader("not a snapshot at all"), site, nil, nil, nil); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+
+	bumped := append([]byte(nil), snap...)
+	bumped[8]++ // version field
+	if _, err := LoadBuild(bytes.NewReader(bumped), site, nil, nil, nil); err == nil ||
+		!strings.Contains(err.Error(), "version") {
+		t.Fatalf("future version accepted: %v", err)
+	}
+
+	if _, err := LoadBuild(bytes.NewReader(snap[:len(snap)/2]), site, nil, nil, nil); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+
+	corrupt := append([]byte(nil), snap...)
+	corrupt[len(corrupt)/2] ^= 0xff
+	if _, err := LoadBuild(bytes.NewReader(corrupt), site, nil, nil, nil); err == nil {
+		t.Fatal("corrupted snapshot accepted")
+	}
+
+	// A site without the referenced entries must fail loudly, not serve
+	// silently wrong annotations.
+	empty, err := annotate.NewSite(nil)
+	if err != nil {
+		t.Fatalf("NewSite: %v", err)
+	}
+	if _, err := LoadBuild(bytes.NewReader(snap), empty, nil, nil, nil); err == nil ||
+		!strings.Contains(err.Error(), "entry") {
+		t.Fatalf("snapshot loaded against a site missing its entries: %v", err)
+	}
+
+	if _, err := LoadBuild(bytes.NewReader(snap), nil, nil, nil, nil); err == nil {
+		t.Fatal("nil site accepted")
+	}
+}

@@ -11,6 +11,7 @@ const (
 	StageCluster   = "cluster"   // Steps 2-3: per-community DBSCAN + medoids
 	StageAnnotate  = "annotate"  // Step 5: medoid annotation against the site
 	StageAssociate = "associate" // Step 6: post-to-cluster association
+	StageLoad      = "load"      // snapshot decode + index rebuild (replaces Steps 2-5 on LoadBuild)
 )
 
 // StageStats records the wall-clock cost of one pipeline stage.

@@ -34,6 +34,7 @@ import (
 	"github.com/memes-pipeline/memes/internal/dataset"
 	"github.com/memes-pipeline/memes/internal/distance"
 	"github.com/memes-pipeline/memes/internal/hawkes"
+	"github.com/memes-pipeline/memes/internal/index"
 	"github.com/memes-pipeline/memes/internal/phash"
 	"github.com/memes-pipeline/memes/internal/pipeline"
 	"github.com/memes-pipeline/memes/internal/screenshot"
@@ -86,6 +87,26 @@ type AnnotationSite = annotate.Site
 // KYMEntry is a single annotation-site entry.
 type KYMEntry = annotate.Entry
 
+// IndexStrategy names a medoid-index implementation for the Step 6 serve
+// path; select one with WithIndex. All strategies produce bitwise-identical
+// pipeline output — they differ only in cost profile.
+type IndexStrategy = index.Strategy
+
+// The built-in index strategies.
+const (
+	// IndexBKTree is a single Burkhard-Keller metric tree (the default).
+	IndexBKTree = index.BKTree
+	// IndexMultiIndex is multi-index hashing: banded exact-match tables
+	// with band probing, the classic fast Hamming-space lookup.
+	IndexMultiIndex = index.MultiIndex
+	// IndexSharded partitions medoids across per-shard BK-trees and fans
+	// each query out across the shards in parallel.
+	IndexSharded = index.Sharded
+)
+
+// IndexStrategies lists every registered index strategy in sorted order.
+func IndexStrategies() []IndexStrategy { return index.Strategies() }
+
 // PipelineConfig holds the pipeline's tunable thresholds.
 type PipelineConfig = pipeline.Config
 
@@ -136,6 +157,10 @@ func PerceptualSimilarity(d int, tau float64) float64 {
 
 // Report regenerates the paper's tables and figures from a pipeline result.
 type Report = analysis.Report
+
+// ReportSection is one rendered report section (a paper table or figure);
+// see Report.Sections.
+type ReportSection = analysis.Section
 
 // NewReport builds a report generator.
 func NewReport(res *Result) (*Report, error) { return analysis.NewReport(res) }
