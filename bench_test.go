@@ -17,6 +17,8 @@ import (
 	"testing"
 
 	"github.com/memes-pipeline/memes/internal/analysis"
+	"github.com/memes-pipeline/memes/internal/benchcorpus"
+	"github.com/memes-pipeline/memes/internal/cluster"
 	"github.com/memes-pipeline/memes/internal/dataset"
 	"github.com/memes-pipeline/memes/internal/distance"
 	"github.com/memes-pipeline/memes/internal/imaging"
@@ -39,22 +41,11 @@ var (
 	benchErr  error
 )
 
-// benchConfig is a mid-sized corpus: large enough that the paper's
-// qualitative shapes emerge, small enough that the full benchmark suite runs
-// in minutes on a laptop.
+// benchConfig is the shared benchmark corpus; cmd/memebench generates the
+// same one (see internal/benchcorpus), so trajectory points and `go test
+// -bench` numbers are comparable by construction.
 func benchConfig() dataset.Config {
-	cfg := dataset.DefaultConfig()
-	cfg.NumMemes = 60
-	cfg.DurationDays = 200
-	cfg.NoiseImages = map[dataset.Community]int{
-		dataset.Pol: 20000, dataset.Reddit: 7000, dataset.Twitter: 11000,
-		dataset.Gab: 1100, dataset.TheDonald: 2200,
-	}
-	cfg.PostsWithoutImages = map[dataset.Community]int{
-		dataset.Pol: 8000, dataset.Reddit: 20000, dataset.Twitter: 30000,
-		dataset.Gab: 2000, dataset.TheDonald: 2500,
-	}
-	return cfg
+	return benchcorpus.Config()
 }
 
 func getBench(b *testing.B) *benchState {
@@ -741,9 +732,52 @@ func BenchmarkAblation_HashAlgorithms(b *testing.B) {
 	}
 }
 
-// BenchmarkPhashExtraction measures Step 1 hashing throughput.
+// BenchmarkDBSCAN measures the Steps 2-3 clustering in isolation over the
+// corpus's distinct fringe hashes: the two-phase run (parallel
+// eps-neighbourhood scan + serial expansion) at one worker versus the full
+// pool. neighbour_points_per_sec is the phase-one throughput — the CPU
+// analogue of the paper's GPU pairwise engine — and the labels are
+// bitwise-identical at every worker count (see cluster's reference
+// property test and fuzz target).
+func BenchmarkDBSCAN(b *testing.B) {
+	st := getBench(b)
+	hashes, counts, _ := st.ds.FringeImageHashes()
+	if len(hashes) == 0 {
+		b.Skip("no fringe hashes")
+	}
+	workerCounts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers_%d", workers), func(b *testing.B) {
+			cfg := cluster.DefaultDBSCANConfig()
+			cfg.Workers = workers
+			b.ReportAllocs()
+			b.ResetTimer()
+			var res cluster.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = cluster.DBSCAN(hashes, counts, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.Neighbourhoods.PointsPerSec(), "neighbour_points_per_sec")
+			b.ReportMetric(float64(res.NumClusters), "clusters")
+		})
+	}
+}
+
+// BenchmarkPhashExtraction measures Step 1 hashing throughput. The steady
+// state is allocation-free (pooled hasher scratch + pruned DCT); CI gates
+// on allocs/op staying 0.
 func BenchmarkPhashExtraction(b *testing.B) {
 	tmpl := imaging.Template(1)
+	if _, err := HashImage(tmpl); err != nil { // warm the hasher pool
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := HashImage(tmpl); err != nil {

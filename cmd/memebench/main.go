@@ -1,0 +1,212 @@
+// Command memebench executes the repo's named performance benchmark set —
+// the build path (BenchmarkPipelineRun), the clustering phase
+// (BenchmarkDBSCAN), the serve path per index strategy
+// (BenchmarkEngineAssociate), and Step 1 hashing
+// (BenchmarkPhashExtraction) — and writes one BENCH_<label>.json document
+// with ns/op, allocs/op, and the custom throughput metrics of each, using
+// the same machine-readable conventions as the CLIs' -format json stats.
+// The emitted file is one point of the repo's performance trajectory: CI
+// uploads BENCH_ci.json on every run, and curated points are committed at
+// the repo root.
+//
+// Usage:
+//
+//	memebench [-label ci] [-out BENCH_ci.json] [-benchtime 1x] [-workers N]
+//
+// The corpus matches the bench_test.go benchmark corpus, so numbers are
+// comparable with `go test -bench`. -benchtime accepts everything the
+// testing flag does ("1x", "100ms", ...); the default is the testing
+// package's 1s target.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+
+	"github.com/memes-pipeline/memes"
+	"github.com/memes-pipeline/memes/internal/benchcorpus"
+	"github.com/memes-pipeline/memes/internal/cli"
+	"github.com/memes-pipeline/memes/internal/cluster"
+	"github.com/memes-pipeline/memes/internal/dataset"
+	"github.com/memes-pipeline/memes/internal/imaging"
+	"github.com/memes-pipeline/memes/internal/pipeline"
+)
+
+func main() {
+	label := flag.String("label", "local", "trajectory point label; also names the default output file")
+	out := flag.String("out", "", "output path (default BENCH_<label>.json)")
+	benchtime := flag.String("benchtime", "", "benchmark time target, as accepted by -test.benchtime (e.g. 1x, 2s)")
+	workers := flag.Int("workers", 0, "full worker-pool size for the parallel variants (0 = GOMAXPROCS)")
+	testing.Init()
+	flag.Parse()
+	if *benchtime != "" {
+		if err := flag.Set("test.benchtime", *benchtime); err != nil {
+			log.Fatalf("invalid -benchtime %q: %v", *benchtime, err)
+		}
+	}
+	path := *out
+	if path == "" {
+		path = "BENCH_" + *label + ".json"
+	}
+
+	st, err := newBenchState()
+	if err != nil {
+		log.Fatalf("building benchmark corpus: %v", err)
+	}
+	full := *workers
+	if full <= 0 {
+		full = runtime.GOMAXPROCS(0)
+	}
+
+	doc := cli.NewBenchDoc(*label)
+	run := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		if r.N == 0 {
+			// testing.Benchmark reports a failed fn (b.Fatal) only as a
+			// zero result; a zero point would silently corrupt the
+			// trajectory, so fail the run instead.
+			log.Fatalf("benchmark %s failed (zero iterations)", name)
+		}
+		doc.Add(name, r)
+		fmt.Fprintf(os.Stderr, "%-40s %12d ns/op %8d allocs/op", name, r.NsPerOp(), r.AllocsPerOp())
+		for k, v := range r.Extra {
+			fmt.Fprintf(os.Stderr, "  %.0f %s", v, k)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+
+	workerCounts := []int{1}
+	if full > 1 {
+		workerCounts = append(workerCounts, full)
+	}
+	for _, w := range workerCounts {
+		w := w
+		run(fmt.Sprintf("PipelineRun/workers_%d", w), func(b *testing.B) { st.benchPipelineRun(b, w) })
+	}
+	for _, w := range workerCounts {
+		w := w
+		run(fmt.Sprintf("DBSCAN/workers_%d", w), func(b *testing.B) { st.benchDBSCAN(b, w) })
+	}
+	for _, strategy := range memes.IndexStrategies() {
+		strategy := strategy
+		run("EngineAssociate/"+string(strategy), func(b *testing.B) { st.benchEngineAssociate(b, strategy) })
+	}
+	run("PhashExtraction", func(b *testing.B) { benchPhashExtraction(b) })
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatalf("encoding %s: %v", path, err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatalf("writing %s: %v", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d benchmark results to %s\n", len(doc.Benchmarks), path)
+}
+
+// benchState is the shared corpus — benchcorpus.Config, the same corpus
+// bench_test.go generates — so memebench numbers are comparable with
+// `go test -bench` output.
+type benchState struct {
+	ds   *dataset.Dataset
+	site *memes.AnnotationSite
+}
+
+func newBenchState() (*benchState, error) {
+	ds, err := dataset.Generate(benchcorpus.Config())
+	if err != nil {
+		return nil, fmt.Errorf("generating corpus: %w", err)
+	}
+	site, err := ds.Site(true)
+	if err != nil {
+		return nil, fmt.Errorf("building site: %w", err)
+	}
+	return &benchState{ds: ds, site: site}, nil
+}
+
+func (st *benchState) benchPipelineRun(b *testing.B, workers int) {
+	cfg := pipeline.DefaultConfig()
+	cfg.Workers = workers
+	b.ReportAllocs()
+	var res *pipeline.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = pipeline.Run(st.ds, st.site, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Stats.ImagesPerSec(), "images_per_sec")
+	if st, ok := res.Stats.Stage(pipeline.StageNeighbours); ok {
+		b.ReportMetric(st.Throughput(), "neighbour_points_per_sec")
+	}
+}
+
+func (st *benchState) benchDBSCAN(b *testing.B, workers int) {
+	hashes, counts, _ := st.ds.FringeImageHashes()
+	if len(hashes) == 0 {
+		b.Fatal("no fringe hashes")
+	}
+	cfg := cluster.DefaultDBSCANConfig()
+	cfg.Workers = workers
+	b.ReportAllocs()
+	b.ResetTimer()
+	var res cluster.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = cluster.DBSCAN(hashes, counts, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Neighbourhoods.PointsPerSec(), "neighbour_points_per_sec")
+}
+
+func (st *benchState) benchEngineAssociate(b *testing.B, strategy memes.IndexStrategy) {
+	ctx := context.Background()
+	eng, err := memes.NewEngine(ctx, st.ds, st.site, memes.WithIndex(strategy))
+	if err != nil {
+		b.Fatal(err)
+	}
+	imagePosts := 0
+	for i := range st.ds.Posts {
+		if st.ds.Posts[i].HasImage {
+			imagePosts++
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Associate(ctx, st.ds.Posts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(imagePosts)*float64(b.N)/secs, "images_per_sec")
+	}
+}
+
+func benchPhashExtraction(b *testing.B) {
+	tmpl := imaging.Template(1)
+	if _, err := memes.HashImage(tmpl); err != nil { // warm the hasher pool
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := memes.HashImage(tmpl); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if b.N > 0 && b.Elapsed() > 0 {
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "images_per_sec")
+	}
+}

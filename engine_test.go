@@ -359,7 +359,7 @@ func TestEngineProgressDerivesStats(t *testing.T) {
 			t.Fatalf("stats stage %d (%+v) does not match event %+v", i, st, ev)
 		}
 	}
-	wantOrder := []string{"cluster", "annotate", "associate"}
+	wantOrder := []string{"cluster", "neighbours", "annotate", "associate"}
 	for i, name := range wantOrder {
 		if done[i].Stage != name {
 			t.Fatalf("stage order %v, want %v", done, wantOrder)
@@ -367,7 +367,8 @@ func TestEngineProgressDerivesStats(t *testing.T) {
 	}
 	// BuildStats covers the offline phase only.
 	bs := eng.BuildStats()
-	if len(bs.Stages) != 2 || bs.Stages[0].Name != "cluster" || bs.Stages[1].Name != "annotate" {
+	if len(bs.Stages) != 3 || bs.Stages[0].Name != "cluster" ||
+		bs.Stages[1].Name != "neighbours" || bs.Stages[2].Name != "annotate" {
 		t.Fatalf("BuildStats stages = %+v", bs.Stages)
 	}
 	if bs.Total <= 0 || bs.Clusters != len(eng.Clusters()) {
@@ -485,7 +486,7 @@ func TestEngineSaveLoad(t *testing.T) {
 	if len(bs.Stages) != 1 || bs.Stages[0].Name != "load" {
 		t.Fatalf("loaded BuildStats stages = %+v", bs.Stages)
 	}
-	for _, forbidden := range []string{"cluster", "annotate"} {
+	for _, forbidden := range []string{"cluster", "neighbours", "annotate"} {
 		if _, ok := bs.Stage(forbidden); ok {
 			t.Fatalf("loaded engine ran build stage %q", forbidden)
 		}

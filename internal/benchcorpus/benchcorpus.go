@@ -1,0 +1,27 @@
+// Package benchcorpus pins the single corpus configuration shared by every
+// performance harness — the `go test -bench` suite in bench_test.go and the
+// cmd/memebench trajectory runner — so their numbers stay comparable by
+// construction rather than by a keep-in-sync comment. Change it here and
+// every harness moves together (and the committed BENCH_*.json trajectory
+// points gain a new corpus generation).
+package benchcorpus
+
+import "github.com/memes-pipeline/memes/internal/dataset"
+
+// Config returns the benchmark corpus: a mid-sized synthetic corpus, large
+// enough that the paper's qualitative shapes emerge, small enough that the
+// full benchmark suite runs in minutes on a laptop.
+func Config() dataset.Config {
+	cfg := dataset.DefaultConfig()
+	cfg.NumMemes = 60
+	cfg.DurationDays = 200
+	cfg.NoiseImages = map[dataset.Community]int{
+		dataset.Pol: 20000, dataset.Reddit: 7000, dataset.Twitter: 11000,
+		dataset.Gab: 1100, dataset.TheDonald: 2200,
+	}
+	cfg.PostsWithoutImages = map[dataset.Community]int{
+		dataset.Pol: 8000, dataset.Reddit: 20000, dataset.Twitter: 30000,
+		dataset.Gab: 2000, dataset.TheDonald: 2500,
+	}
+	return cfg
+}

@@ -1,0 +1,71 @@
+package cli
+
+import (
+	"runtime"
+	"testing"
+)
+
+// BenchJSON is one benchmark result in the perf-trajectory document emitted
+// by cmd/memebench, following the same machine-readable conventions as
+// StatsJSON (stable snake_case keys, arrays never null).
+type BenchJSON struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Metrics carries the benchmark's custom b.ReportMetric values
+	// (e.g. images_per_sec, neighbour_points_per_sec).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// BenchDoc is the BENCH_<label>.json document: one point of the repo's
+// performance trajectory, labelled by run (e.g. "ci") and annotated with
+// the platform the numbers came from.
+type BenchDoc struct {
+	Label      string      `json:"label"`
+	GoOS       string      `json:"goos"`
+	GoArch     string      `json:"goarch"`
+	GoMaxProcs int         `json:"gomaxprocs"`
+	Benchmarks []BenchJSON `json:"benchmarks"`
+}
+
+// NewBenchDoc returns an empty document for the current platform. The
+// Benchmarks slice starts non-nil so the contract is an array, never null.
+func NewBenchDoc(label string) BenchDoc {
+	return BenchDoc{
+		Label:      label,
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Benchmarks: []BenchJSON{},
+	}
+}
+
+// Add appends one testing.Benchmark result under the given name.
+func (d *BenchDoc) Add(name string, r testing.BenchmarkResult) {
+	b := BenchJSON{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if len(r.Extra) > 0 {
+		b.Metrics = make(map[string]float64, len(r.Extra))
+		for k, v := range r.Extra {
+			b.Metrics[k] = v
+		}
+	}
+	d.Benchmarks = append(d.Benchmarks, b)
+}
+
+// Bench returns the named benchmark entry; ok is false when absent.
+func (d *BenchDoc) Bench(name string) (BenchJSON, bool) {
+	for _, b := range d.Benchmarks {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return BenchJSON{}, false
+}

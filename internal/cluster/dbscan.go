@@ -6,6 +6,7 @@ package cluster
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/memes-pipeline/memes/internal/parallel"
 	"github.com/memes-pipeline/memes/internal/phash"
@@ -23,6 +24,11 @@ type DBSCANConfig struct {
 	// MinPts is the minimum neighbourhood size (including the point itself)
 	// for a point to be a core point.
 	MinPts int
+	// Workers bounds the parallel neighbourhood scan (phase one); zero means
+	// GOMAXPROCS. The labels are identical for every worker count, because
+	// the expansion phase that assigns them runs serially over the cached
+	// neighbourhoods.
+	Workers int
 }
 
 // DefaultDBSCANConfig returns the configuration used in the paper.
@@ -38,6 +44,9 @@ func (c DBSCANConfig) Validate() error {
 	if c.MinPts < 1 {
 		return fmt.Errorf("cluster: minPts %d must be at least 1", c.MinPts)
 	}
+	if c.Workers < 0 {
+		return fmt.Errorf("cluster: negative worker count %d", c.Workers)
+	}
 	return nil
 }
 
@@ -50,6 +59,27 @@ type Result struct {
 	NumClusters int
 	// NoiseCount is the number of points labelled Noise.
 	NoiseCount int
+	// Neighbourhoods records the cost of the parallel neighbourhood scan
+	// (phase one) — the CPU analogue of the paper's GPU pairwise engine. It
+	// is the only Result field that varies between runs on identical inputs.
+	Neighbourhoods NeighbourhoodStats
+}
+
+// NeighbourhoodStats is the timing record of DBSCAN's phase one: computing
+// the eps-neighbourhood of every distinct hash against the multi-index.
+type NeighbourhoodStats struct {
+	// Duration is the wall time of the scan.
+	Duration time.Duration
+	// Points is the number of distinct hashes scanned.
+	Points int
+}
+
+// PointsPerSec returns the scan throughput, or 0 for an instantaneous scan.
+func (s NeighbourhoodStats) PointsPerSec() float64 {
+	if s.Duration <= 0 {
+		return 0
+	}
+	return float64(s.Points) / s.Duration.Seconds()
 }
 
 // NoiseFraction returns the fraction of input points labelled as noise.
@@ -79,9 +109,17 @@ func (r Result) Members() [][]int {
 // measured in occurrences, mirroring the paper's treatment of duplicate
 // images); pass nil to weight every hash equally.
 //
-// The neighbourhood queries run against a multi-index built over the hashes,
-// which replaces the paper's GPU pairwise comparison step with identical
-// results.
+// The run is split into two phases. Phase one computes the
+// eps-neighbourhood (member indexes plus total occurrence weight) of every
+// point in parallel over cfg.Workers against a multi-index built over the
+// hashes — this is exactly the paper's GPU pairwise comparison step, spread
+// across cores instead of CUDA blocks. Phase two runs the classic serial
+// breadth-first expansion over the cached neighbourhoods. Because each
+// neighbourhood is a pure function of the input and the expansion order
+// never depends on scheduling, Labels are bitwise-identical for every
+// worker count — and identical to what the historical single-threaded
+// re-querying implementation produced (pinned by a property test and a fuzz
+// target against that reference).
 func DBSCAN(hashes []phash.Hash, counts []int, cfg DBSCANConfig) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
@@ -94,54 +132,46 @@ func DBSCAN(hashes []phash.Hash, counts []int, cfg DBSCANConfig) (Result, error)
 	if counts != nil && len(counts) != n {
 		return Result{}, fmt.Errorf("cluster: counts length %d does not match hashes length %d", len(counts), n)
 	}
-	weight := func(i int) int {
+
+	// Phase one: every point's eps-neighbourhood and its total occurrence
+	// weight, computed in parallel by the batch pairwise primitive.
+	phaseStart := time.Now()
+	neigh := phash.Neighbourhoods(hashes, cfg.Eps, cfg.Workers)
+	weights := make([]int, n)
+	parallel.For(n, cfg.Workers, func(i int) {
 		if counts == nil {
-			return 1
+			weights[i] = len(neigh[i])
+			return
 		}
-		return counts[i]
-	}
+		total := 0
+		for _, j := range neigh[i] {
+			total += counts[j]
+		}
+		weights[i] = total
+	})
+	res.Neighbourhoods = NeighbourhoodStats{Duration: time.Since(phaseStart), Points: n}
 
-	index := phash.NewMultiIndex()
-	for i, h := range hashes {
-		index.Insert(h, int64(i))
-	}
-
-	const (
-		unvisited = -2
-	)
+	// Phase two: deterministic serial expansion over the cached
+	// neighbourhoods — the same breadth-first traversal, in the same order,
+	// as the historical implementation that re-queried the index per visit.
+	const unvisited = -2
 	labels := res.Labels
 	for i := range labels {
 		labels[i] = unvisited
 	}
-
-	// neighbours returns the indexes within eps of point i (including i) and
-	// the total occurrence weight of that neighbourhood.
-	neighbours := func(i int) ([]int, int) {
-		matches := index.Radius(hashes[i], cfg.Eps)
-		var idxs []int
-		total := 0
-		for _, m := range matches {
-			for _, id := range m.IDs {
-				idxs = append(idxs, int(id))
-				total += weight(int(id))
-			}
-		}
-		return idxs, total
-	}
-
+	var queue []int32
 	clusterID := 0
 	for i := 0; i < n; i++ {
 		if labels[i] != unvisited {
 			continue
 		}
-		neigh, total := neighbours(i)
-		if total < cfg.MinPts {
+		if weights[i] < cfg.MinPts {
 			labels[i] = Noise
 			continue
 		}
 		// Start a new cluster and expand it breadth-first.
 		labels[i] = clusterID
-		queue := append([]int(nil), neigh...)
+		queue = append(queue[:0], neigh[i]...)
 		for qi := 0; qi < len(queue); qi++ {
 			j := queue[qi]
 			if labels[j] == Noise {
@@ -151,9 +181,8 @@ func DBSCAN(hashes []phash.Hash, counts []int, cfg DBSCANConfig) (Result, error)
 				continue
 			}
 			labels[j] = clusterID
-			jNeigh, jTotal := neighbours(j)
-			if jTotal >= cfg.MinPts {
-				queue = append(queue, jNeigh...)
+			if weights[j] >= cfg.MinPts {
+				queue = append(queue, neigh[j]...)
 			}
 		}
 		clusterID++

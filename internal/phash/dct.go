@@ -5,11 +5,57 @@ import (
 	"sync"
 )
 
-// dct2D computes the 2-D type-II discrete cosine transform of a square
+// dctTopLeft computes the top-left dctBlock x dctBlock block of the 2-D
+// type-II DCT of a lowResSize x lowResSize matrix, writing the row-pass
+// scratch into tmp (lowResSize rows x dctBlock coefficients) and the block
+// into out. The hash only ever reads this block, so the row pass computes
+// just dctBlock coefficients per row and the column pass just dctBlock x
+// dctBlock outputs — ~(lowResSize/dctBlock)x fewer multiply-adds than the
+// full transform — while every retained coefficient is produced by exactly
+// the same operations in the same order as dct2D, keeping hashes
+// bit-identical.
+func dctTopLeft(pix []float64, tmp, out []float64) {
+	n := lowResSize
+	table := dctTable()
+	scale := dctScaleTable()
+
+	// Rows: coefficients k < dctBlock of every row.
+	for y := 0; y < n; y++ {
+		row := pix[y*n : (y+1)*n]
+		for k := 0; k < dctBlock; k++ {
+			sum := 0.0
+			tr := table[k*n : (k+1)*n]
+			for i, v := range row {
+				sum += v * tr[i]
+			}
+			tmp[y*dctBlock+k] = sum * scale[k]
+		}
+	}
+	// Columns: coefficients k < dctBlock of the first dctBlock columns.
+	var col [lowResSize]float64
+	for x := 0; x < dctBlock; x++ {
+		for y := 0; y < n; y++ {
+			col[y] = tmp[y*dctBlock+x]
+		}
+		for k := 0; k < dctBlock; k++ {
+			sum := 0.0
+			tr := table[k*n : (k+1)*n]
+			for i, v := range col {
+				sum += v * tr[i]
+			}
+			out[k*dctBlock+x] = sum * scale[k]
+		}
+	}
+}
+
+// dct2D computes the full 2-D type-II discrete cosine transform of a square
 // lowResSize x lowResSize matrix given in row-major order. The transform is
 // separable: a 1-D DCT is applied to every row and then to every column.
 // Coefficient tables are precomputed once because the pipeline hashes
 // millions of images with the same dimensions.
+//
+// The hashing hot path uses the pruned dctTopLeft instead; dct2D is the
+// reference transform its equivalence tests pin against.
 func dct2D(pix []float64) []float64 {
 	n := lowResSize
 	table := dctTable()
@@ -64,7 +110,23 @@ func dctScale(k, n int) float64 {
 var (
 	dctTableOnce sync.Once
 	dctTableVals []float64
+
+	dctScaleOnce sync.Once
+	dctScaleVals []float64
 )
+
+// dctScaleTable returns the per-coefficient orthonormal scale factors for a
+// lowResSize-point DCT-II, precomputed so the hot path never calls math.Sqrt.
+// Entry k equals dctScale(k, lowResSize) exactly.
+func dctScaleTable() []float64 {
+	dctScaleOnce.Do(func() {
+		dctScaleVals = make([]float64, lowResSize)
+		for k := range dctScaleVals {
+			dctScaleVals[k] = dctScale(k, lowResSize)
+		}
+	})
+	return dctScaleVals
+}
 
 // dctTable returns the lowResSize x lowResSize cosine basis table where entry
 // (k, i) = cos(pi/n * (i + 0.5) * k).

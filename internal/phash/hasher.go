@@ -1,0 +1,51 @@
+package phash
+
+import "sync"
+
+// hasher holds every piece of per-image scratch the DCT hash needs: the
+// luminance matrix, the downsampled 32x32 image, and the row-pass and block
+// buffers of the pruned DCT. FromImage / FromGray borrow a hasher from a
+// sync.Pool, so the steady-state hash path performs zero heap allocations
+// regardless of how many goroutines hash concurrently.
+type hasher struct {
+	// gray is the full-resolution luminance matrix, grown to the largest
+	// image seen by this hasher and reused across images.
+	gray []float64
+	// small is the bilinear-downsampled lowResSize x lowResSize image.
+	small [lowResSize * lowResSize]float64
+	// tmp holds the row-pass output of the pruned DCT: lowResSize rows of
+	// dctBlock coefficients each.
+	tmp [lowResSize * dctBlock]float64
+	// block is the top-left dctBlock x dctBlock coefficient block.
+	block [dctBlock * dctBlock]float64
+}
+
+var hasherPool = sync.Pool{New: func() any { return new(hasher) }}
+
+// grayBuf returns the luminance scratch resized to n pixels, reallocating
+// only when the image is larger than anything this hasher has seen.
+func (hs *hasher) grayBuf(n int) []float64 {
+	if cap(hs.gray) < n {
+		hs.gray = make([]float64, n)
+	}
+	return hs.gray[:n]
+}
+
+// hashGray computes the DCT hash of a w x h luminance matrix using only the
+// hasher's scratch: downsample, pruned DCT, median threshold. The bit layout
+// and every floating-point operation match the pre-pool implementation, so
+// hashes are bit-identical to it.
+func (hs *hasher) hashGray(pix []float64, w, h int) Hash {
+	small := hs.small[:]
+	resizeBilinearInto(small, pix, w, h, lowResSize, lowResSize)
+	dctTopLeft(small, hs.tmp[:], hs.block[:])
+	// Median excludes the DC coefficient, which otherwise dominates.
+	med := medianExcludingFirst(hs.block[:])
+	var out Hash
+	for i, v := range hs.block[:] {
+		if v > med {
+			out |= 1 << uint(i)
+		}
+	}
+	return out
+}

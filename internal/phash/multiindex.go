@@ -13,10 +13,11 @@ import (
 // only need exact band matches followed by full-distance verification.
 //
 // With the default 4 bands of 16 bits each, any query radius r <= 3 is
-// guaranteed exact (some band matches exactly); for larger radii the index
-// also probes band values at distance 1, which keeps queries exact up to
-// r <= 7 and covers the pipeline's operating threshold of 8 by probing
-// distance-2 neighbours on demand.
+// guaranteed exact from direct band lookups alone (some band matches
+// exactly); radii 4-7 additionally probe band values at Hamming distance 1,
+// and radii 8-11 — covering the pipeline's operating threshold of 8 — probe
+// distance 2 as well, keeping every banded query exact. Larger radii fall
+// back to a parallel linear scan, so results are exact at every radius.
 //
 // MultiIndex is not safe for concurrent mutation; concurrent queries after
 // construction are safe.
@@ -28,13 +29,16 @@ type MultiIndex struct {
 	ids      []int64
 }
 
+// mihBands is the number of disjoint bands the default multi-index splits
+// a hash into; shared with the Neighbourhoods regime choice.
+const mihBands = 4
+
 // NewMultiIndex returns an empty multi-index over 4 bands of 16 bits.
 func NewMultiIndex() *MultiIndex {
-	const bands = 4
 	m := &MultiIndex{
-		bands:    bands,
-		bandBits: Size / bands,
-		tables:   make([]map[uint64][]int32, bands),
+		bands:    mihBands,
+		bandBits: Size / mihBands,
+		tables:   make([]map[uint64][]int32, mihBands),
 	}
 	for i := range m.tables {
 		m.tables[i] = make(map[uint64][]int32)
@@ -63,17 +67,21 @@ func (m *MultiIndex) band(h Hash, b int) uint64 {
 }
 
 // Radius returns all stored entries within Hamming distance radius of q.
-// The search is exact for radius <= 2*bands - 1 (i.e. 7 with the default
-// 4 bands) using distance-<=1 band probing, and falls back to a parallel
-// linear scan beyond that so results are always exact.
+// The search is exact at every radius: banded probing handles radius <=
+// 3*bands - 1 (i.e. 11 with the default 4 bands, comfortably covering the
+// pipeline's operating threshold of 8), and a parallel linear scan handles
+// anything larger.
 func (m *MultiIndex) Radius(q Hash, radius int) []Match {
 	if radius < 0 || len(m.hashes) == 0 {
 		return nil
 	}
-	// Pigeonhole: if radius errors are spread across bands, at least one band
-	// has at most floor(radius/bands) errors. With distance-1 probing we are
-	// exact while floor(radius/bands) <= 1, i.e. radius <= 2*bands-1.
-	if radius > 2*m.bands-1 {
+	// Pigeonhole: if radius errors are spread across bands, at least one
+	// band has at most maxFlips = floor(radius/bands) errors, so probing
+	// every band value within maxFlips bit flips of the query's band finds
+	// every candidate. The probe count grows as C(bandBits, maxFlips), so
+	// beyond two flips per band (radius >= 3*bands) the linear scan wins.
+	maxFlips := radius / m.bands
+	if maxFlips > 2 {
 		return m.linearRadius(q, radius)
 	}
 	seen := make(map[int32]struct{})
@@ -93,10 +101,17 @@ func (m *MultiIndex) Radius(q Hash, radius int) []Match {
 	for b := 0; b < m.bands; b++ {
 		key := m.band(q, b)
 		probe(b, key)
-		if radius >= m.bands {
-			// Probe all band values at Hamming distance 1.
-			for bit := 0; bit < m.bandBits; bit++ {
-				probe(b, key^(1<<uint(bit)))
+		if maxFlips >= 1 {
+			for bit1 := 0; bit1 < m.bandBits; bit1++ {
+				k1 := key ^ (1 << uint(bit1))
+				probe(b, k1)
+				if maxFlips >= 2 {
+					// All band values at Hamming distance 2, enumerated as
+					// ordered flip pairs.
+					for bit2 := bit1 + 1; bit2 < m.bandBits; bit2++ {
+						probe(b, k1^(1<<uint(bit2)))
+					}
+				}
 			}
 		}
 	}

@@ -1,0 +1,96 @@
+package phash
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteNeighbourhoods is the oracle: an O(n²) scan building every list in
+// ascending index order, duplicates and self included.
+func bruteNeighbourhoods(hashes []Hash, radius int) [][]int32 {
+	out := make([][]int32, len(hashes))
+	for i, q := range hashes {
+		for j, h := range hashes {
+			if Distance(q, h) <= radius {
+				out[i] = append(out[i], int32(j))
+			}
+		}
+	}
+	return out
+}
+
+// clusteredCorpus draws hashes around a few templates (so neighbourhoods
+// are non-trivial) with exact duplicates mixed in.
+func clusteredCorpus(rng *rand.Rand, n int) []Hash {
+	templates := []Hash{Hash(rng.Uint64()), Hash(rng.Uint64()), Hash(rng.Uint64())}
+	out := make([]Hash, n)
+	for i := range out {
+		h := templates[rng.Intn(len(templates))]
+		for f := rng.Intn(6); f > 0; f-- {
+			h ^= 1 << uint(rng.Intn(64))
+		}
+		if rng.Intn(4) == 0 && i > 0 {
+			h = out[rng.Intn(i)] // exact duplicate
+		}
+		out[i] = h
+	}
+	return out
+}
+
+// TestNeighbourhoodsMatchesBrute pins all three regimes — serial symmetric
+// kernel, parallel chunked kernel, and banded probing — against the brute
+// oracle, across radii spanning the probing and linear regimes.
+func TestNeighbourhoodsMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, n := range []int{0, 1, 2, 37, 300} {
+		hashes := clusteredCorpus(rng, n)
+		for _, radius := range []int{0, 3, 8, 11, 20} {
+			want := bruteNeighbourhoods(hashes, radius)
+			check := func(got [][]int32, label string) {
+				t.Helper()
+				if len(got) != len(want) {
+					t.Fatalf("n=%d r=%d %s: %d lists, want %d", n, radius, label, len(got), len(want))
+				}
+				for i := range want {
+					if len(got[i]) != len(want[i]) {
+						t.Fatalf("n=%d r=%d %s: list %d has %d entries, want %d",
+							n, radius, label, i, len(got[i]), len(want[i]))
+					}
+					for k := range want[i] {
+						if got[i][k] != want[i][k] {
+							t.Fatalf("n=%d r=%d %s: list %d entry %d = %d, want %d",
+								n, radius, label, i, k, got[i][k], want[i][k])
+						}
+					}
+				}
+			}
+			for _, workers := range []int{0, 1, 2, 7} {
+				check(Neighbourhoods(hashes, radius, workers), "kernel")
+			}
+			// Force the probing regime (only reachable for probe-friendly
+			// radii) on the same corpus.
+			if radius/mihBands <= 2 {
+				old := probeCutover
+				probeCutover = 1
+				for _, workers := range []int{1, 4} {
+					check(Neighbourhoods(hashes, radius, workers), "probing")
+				}
+				probeCutover = old
+			}
+		}
+	}
+}
+
+// TestNeighbourhoodsNegativeRadius: a negative radius yields empty lists
+// (not even self-matches), mirroring MultiIndex.Radius.
+func TestNeighbourhoodsNegativeRadius(t *testing.T) {
+	got := Neighbourhoods([]Hash{1, 2, 3}, -1, 2)
+	if len(got) != 3 {
+		t.Fatalf("expected 3 lists, got %d", len(got))
+	}
+	for i, l := range got {
+		if len(l) != 0 {
+			t.Fatalf("list %d should be empty, got %v", i, l)
+		}
+	}
+}

@@ -38,62 +38,38 @@ const dctBlock = 8
 
 var errEmptyImage = errors.New("phash: empty image")
 
-// FromImage computes the perceptual hash of img.
+// FromImage computes the perceptual hash of img. The hot path — grayscale
+// conversion, bilinear downsample, pruned DCT, median threshold — runs
+// entirely on pooled scratch, so steady-state hashing allocates nothing for
+// the common concrete image types (*image.Gray, *image.RGBA, *image.NRGBA,
+// *image.YCbCr).
 func FromImage(img image.Image) (Hash, error) {
 	if img == nil {
 		return 0, errEmptyImage
 	}
 	b := img.Bounds()
-	if b.Dx() <= 0 || b.Dy() <= 0 {
+	w, h := b.Dx(), b.Dy()
+	if w <= 0 || h <= 0 {
 		return 0, errEmptyImage
 	}
-	gray := toGray(img)
-	small := resizeBilinear(gray, lowResSize, lowResSize)
-	coeffs := dct2D(small)
-
-	// Collect the top-left 8x8 block of coefficients.
-	var block [dctBlock * dctBlock]float64
-	for y := 0; y < dctBlock; y++ {
-		for x := 0; x < dctBlock; x++ {
-			block[y*dctBlock+x] = coeffs[y*lowResSize+x]
-		}
-	}
-	// Median excludes the DC coefficient, which otherwise dominates.
-	med := medianExcludingFirst(block[:])
-
-	var h Hash
-	for i, v := range block {
-		if v > med {
-			h |= 1 << uint(i)
-		}
-	}
-	return h, nil
+	hs := hasherPool.Get().(*hasher)
+	defer hasherPool.Put(hs)
+	pix := hs.grayBuf(w * h)
+	toGrayInto(img, pix)
+	return hs.hashGray(pix, w, h), nil
 }
 
 // FromGray computes the perceptual hash of a grayscale matrix given in
 // row-major order with the provided dimensions. It is the low-level entry
 // point used by synthetic workload generators that never materialise an
-// image.Image.
+// image.Image; like FromImage it is allocation-free in steady state.
 func FromGray(pix []float64, w, h int) (Hash, error) {
 	if w <= 0 || h <= 0 || len(pix) != w*h {
 		return 0, fmt.Errorf("phash: invalid gray matrix %dx%d with %d pixels", w, h, len(pix))
 	}
-	small := resizeBilinearRaw(pix, w, h, lowResSize, lowResSize)
-	coeffs := dct2D(small)
-	var block [dctBlock * dctBlock]float64
-	for y := 0; y < dctBlock; y++ {
-		for x := 0; x < dctBlock; x++ {
-			block[y*dctBlock+x] = coeffs[y*lowResSize+x]
-		}
-	}
-	med := medianExcludingFirst(block[:])
-	var out Hash
-	for i, v := range block {
-		if v > med {
-			out |= 1 << uint(i)
-		}
-	}
-	return out, nil
+	hs := hasherPool.Get().(*hasher)
+	defer hasherPool.Put(hs)
+	return hs.hashGray(pix, w, h), nil
 }
 
 // Distance returns the Hamming distance between two hashes, i.e. the number
@@ -162,31 +138,105 @@ func toGray(img image.Image) grayMatrix {
 	b := img.Bounds()
 	w, h := b.Dx(), b.Dy()
 	m := grayMatrix{w: w, h: h, pix: make([]float64, w*h)}
+	toGrayInto(img, m.pix)
+	return m
+}
+
+// toGrayInto writes the luminance matrix of img into dst (len >= Dx*Dy),
+// in row-major order. Dedicated loops cover the concrete image types the
+// synthetic and real corpora produce — *image.Gray, *image.RGBA,
+// *image.NRGBA, *image.YCbCr — without per-pixel interface conversions;
+// every fast path computes exactly the value the generic color.RGBAModel
+// path would (pinned by equivalence tests), so the hash does not depend on
+// which path ran.
+func toGrayInto(img image.Image, dst []float64) {
+	b := img.Bounds()
+	w, h := b.Dx(), b.Dy()
 	switch src := img.(type) {
 	case *image.Gray:
 		for y := 0; y < h; y++ {
 			row := src.Pix[(y+b.Min.Y-src.Rect.Min.Y)*src.Stride:]
 			for x := 0; x < w; x++ {
-				m.pix[y*w+x] = float64(row[x+b.Min.X-src.Rect.Min.X])
+				dst[y*w+x] = float64(row[x+b.Min.X-src.Rect.Min.X])
 			}
 		}
 	case *image.RGBA:
 		for y := 0; y < h; y++ {
+			i := src.PixOffset(b.Min.X, y+b.Min.Y)
 			for x := 0; x < w; x++ {
-				i := src.PixOffset(x+b.Min.X, y+b.Min.Y)
 				r, g, bl := src.Pix[i], src.Pix[i+1], src.Pix[i+2]
-				m.pix[y*w+x] = luminance(float64(r), float64(g), float64(bl))
+				dst[y*w+x] = luminance(float64(r), float64(g), float64(bl))
+				i += 4
+			}
+		}
+	case *image.NRGBA:
+		for y := 0; y < h; y++ {
+			i := src.PixOffset(b.Min.X, y+b.Min.Y)
+			for x := 0; x < w; x++ {
+				a := uint32(src.Pix[i+3])
+				r := npremul(uint32(src.Pix[i]), a)
+				g := npremul(uint32(src.Pix[i+1]), a)
+				bl := npremul(uint32(src.Pix[i+2]), a)
+				dst[y*w+x] = luminance(float64(r), float64(g), float64(bl))
+				i += 4
+			}
+		}
+	case *image.YCbCr:
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				c := src.YCbCrAt(x+b.Min.X, y+b.Min.Y)
+				r, g, bl := ycbcrToRGB8(c.Y, c.Cb, c.Cr)
+				dst[y*w+x] = luminance(float64(r), float64(g), float64(bl))
 			}
 		}
 	default:
 		for y := 0; y < h; y++ {
 			for x := 0; x < w; x++ {
 				c := color.RGBAModel.Convert(img.At(x+b.Min.X, y+b.Min.Y)).(color.RGBA)
-				m.pix[y*w+x] = luminance(float64(c.R), float64(c.G), float64(c.B))
+				dst[y*w+x] = luminance(float64(c.R), float64(c.G), float64(c.B))
 			}
 		}
 	}
-	return m
+}
+
+// npremul alpha-premultiplies one 8-bit non-premultiplied channel and
+// truncates back to 8 bits, replicating color.NRGBA.RGBA followed by
+// color.RGBAModel's >>8 exactly.
+func npremul(v, a uint32) uint8 {
+	v |= v << 8
+	v *= a
+	v /= 0xff
+	return uint8(v >> 8)
+}
+
+// ycbcrToRGB8 converts a Y'CbCr triple to 8-bit RGB with the same
+// fixed-point arithmetic and clamping as color.YCbCr.RGBA (truncated to
+// 8 bits the way color.RGBAModel truncates it), so the fast path is
+// bit-compatible with the generic conversion.
+func ycbcrToRGB8(yy, cb, cr uint8) (uint8, uint8, uint8) {
+	yy1 := int32(yy) * 0x10101
+	cb1 := int32(cb) - 128
+	cr1 := int32(cr) - 128
+
+	r := yy1 + 91881*cr1
+	if uint32(r)&0xff000000 == 0 {
+		r >>= 8
+	} else {
+		r = ^(r >> 31) & 0xffff
+	}
+	g := yy1 - 22554*cb1 - 46802*cr1
+	if uint32(g)&0xff000000 == 0 {
+		g >>= 8
+	} else {
+		g = ^(g >> 31) & 0xffff
+	}
+	b := yy1 + 116130*cb1
+	if uint32(b)&0xff000000 == 0 {
+		b >>= 8
+	} else {
+		b = ^(b >> 31) & 0xffff
+	}
+	return uint8(uint32(r) >> 8), uint8(uint32(g) >> 8), uint8(uint32(b) >> 8)
 }
 
 // luminance computes the ITU-R BT.601 luma from 8-bit RGB components.
@@ -207,9 +257,16 @@ func resizeBilinear(m grayMatrix, dw, dh int) []float64 {
 
 func resizeBilinearRaw(pix []float64, sw, sh, dw, dh int) []float64 {
 	out := make([]float64, dw*dh)
+	resizeBilinearInto(out, pix, sw, sh, dw, dh)
+	return out
+}
+
+// resizeBilinearInto is resizeBilinearRaw writing into a caller-provided
+// buffer of length dw*dh, so pooled hashers resize without allocating.
+func resizeBilinearInto(out, pix []float64, sw, sh, dw, dh int) {
 	if sw == dw && sh == dh {
 		copy(out, pix)
-		return out
+		return
 	}
 	xRatio := float64(sw-1) / float64(maxInt(dw-1, 1))
 	yRatio := float64(sh-1) / float64(maxInt(dh-1, 1))
@@ -238,32 +295,39 @@ func resizeBilinearRaw(pix []float64, sw, sh, dw, dh int) []float64 {
 			out[y*dw+x] = top + (bot-top)*fy
 		}
 	}
-	return out
 }
 
 // medianExcludingFirst returns the median of vals[1:]; the first element is
 // the DC coefficient that is conventionally excluded from the threshold.
+// The hash path always passes the 64-coefficient block, so the 63 remaining
+// values fit the fixed stack buffer and a partial selection sort up to the
+// middle replaces a full sort — no allocation, ~half the comparisons. The
+// selected order statistics are the same values a full sort would yield, so
+// hashes are unchanged.
 func medianExcludingFirst(vals []float64) float64 {
-	tmp := make([]float64, len(vals)-1)
+	var buf [dctBlock*dctBlock - 1]float64
+	n := len(vals) - 1
+	var tmp []float64
+	if n <= len(buf) {
+		tmp = buf[:n]
+	} else {
+		tmp = make([]float64, n)
+	}
 	copy(tmp, vals[1:])
-	insertionSort(tmp)
-	n := len(tmp)
-	if n%2 == 1 {
-		return tmp[n/2]
-	}
-	return (tmp[n/2-1] + tmp[n/2]) / 2
-}
-
-func insertionSort(a []float64) {
-	for i := 1; i < len(a); i++ {
-		v := a[i]
-		j := i - 1
-		for j >= 0 && a[j] > v {
-			a[j+1] = a[j]
-			j--
+	mid := n / 2
+	for i := 0; i <= mid; i++ {
+		min := i
+		for j := i + 1; j < n; j++ {
+			if tmp[j] < tmp[min] {
+				min = j
+			}
 		}
-		a[j+1] = v
+		tmp[i], tmp[min] = tmp[min], tmp[i]
 	}
+	if n%2 == 1 {
+		return tmp[mid]
+	}
+	return (tmp[mid-1] + tmp[mid]) / 2
 }
 
 func maxInt(a, b int) int {

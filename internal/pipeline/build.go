@@ -97,13 +97,23 @@ func Build(ctx context.Context, ds *dataset.Dataset, site *annotate.Site, cfg Co
 	// exceeds the configured worker bound while skewed community sizes
 	// (/pol/ dominates) still saturate the pool. Phase one: DBSCAN every
 	// fringe community concurrently (the fan-out itself is capped at
-	// `workers`). Phase two: materialise medoids one community at a time,
-	// each with the full budget. Partials are indexed by the fixed
+	// `workers`, and each community's parallel neighbourhood scan gets
+	// workers/concurrent of the budget — floor division, mirroring the
+	// medoid budget split below, so the total stays within the bound at
+	// the cost of idling the remainder). Phase two: materialise medoids
+	// one community at a time, each
+	// with the full budget. Partials are indexed by the fixed
 	// dataset.Communities() order, so the merge below assigns the same
 	// cluster IDs for any worker count.
 	stageStart := em.start(StageCluster)
+	dbscanBudget := 1
+	if concurrent := min(workers, len(fringe)); concurrent > 0 {
+		if dbscanBudget = workers / concurrent; dbscanBudget < 1 {
+			dbscanBudget = 1
+		}
+	}
 	partials, err := parallel.MapErrCtx(ctx, len(fringe), workers, func(i int) (communityPartial, error) {
-		p, err := clusterCommunity(ds, fringe[i], cfg)
+		p, err := clusterCommunity(ds, fringe[i], cfg, dbscanBudget)
 		if err != nil {
 			return communityPartial{}, fmt.Errorf("pipeline: clustering %v: %w", fringe[i], err)
 		}
@@ -126,6 +136,17 @@ func Build(ctx context.Context, ds *dataset.Dataset, site *annotate.Site, cfg Co
 		totalClusters += len(p.clusters)
 	}
 	em.done(StageCluster, stageStart, fringeImages)
+
+	// The neighbourhood-scan throughput — the paper's GPU pairwise step —
+	// is surfaced as its own stage record so the perf trajectory tracks it
+	// separately from medoid materialisation.
+	var neighDur time.Duration
+	neighPoints := 0
+	for i := range partials {
+		neighDur += partials[i].dbres.Neighbourhoods.Duration
+		neighPoints += partials[i].dbres.Neighbourhoods.Points
+	}
+	em.record(StageNeighbours, neighDur, neighPoints)
 
 	// Step 5: batch-annotate every medoid across all communities at once.
 	stageStart = em.start(StageAnnotate)

@@ -59,7 +59,7 @@ func TestRunStatsPopulated(t *testing.T) {
 	if s.Workers < 1 {
 		t.Fatalf("stats workers = %d", s.Workers)
 	}
-	for _, name := range []string{StageCluster, StageAnnotate, StageAssociate} {
+	for _, name := range []string{StageCluster, StageNeighbours, StageAnnotate, StageAssociate} {
 		st, ok := s.Stage(name)
 		if !ok {
 			t.Fatalf("stage %q missing from stats", name)

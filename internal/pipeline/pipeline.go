@@ -248,8 +248,10 @@ func RunContext(ctx context.Context, ds *dataset.Dataset, site *annotate.Site, c
 
 // clusterCommunity performs the first phase of Steps 2-3 for one fringe
 // community: distinct-hash extraction and DBSCAN. Medoid materialisation
-// happens afterwards in Run, one community at a time.
-func clusterCommunity(ds *dataset.Dataset, comm dataset.Community, cfg Config) (communityPartial, error) {
+// happens afterwards in Run, one community at a time. workers is the
+// neighbourhood-scan budget for this community's DBSCAN; an explicit
+// cfg.Clustering.Workers takes precedence.
+func clusterCommunity(ds *dataset.Dataset, comm dataset.Community, cfg Config, workers int) (communityPartial, error) {
 	// Distinct hashes and their occurrence counts within this community.
 	var hashes []phash.Hash
 	var counts []int
@@ -275,7 +277,11 @@ func clusterCommunity(ds *dataset.Dataset, comm dataset.Community, cfg Config) (
 		return communityPartial{summary: summary}, nil
 	}
 
-	dbres, err := cluster.DBSCAN(hashes, counts, cfg.Clustering)
+	cc := cfg.Clustering
+	if cc.Workers == 0 {
+		cc.Workers = workers
+	}
+	dbres, err := cluster.DBSCAN(hashes, counts, cc)
 	if err != nil {
 		return communityPartial{}, err
 	}

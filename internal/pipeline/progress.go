@@ -47,3 +47,17 @@ func (e emitter) done(stage string, started time.Time, items int) {
 		e.progress(ev)
 	}
 }
+
+// record emits a start-completion pair for an aggregated sub-stage whose
+// duration was measured elsewhere (e.g. summed across concurrent per-
+// community scans), preserving the start-then-done event stream contract.
+func (e emitter) record(stage string, d time.Duration, items int) {
+	if e.progress != nil {
+		e.progress(StageEvent{Stage: stage})
+	}
+	ev := StageEvent{Stage: stage, Done: true, Items: items, Duration: d}
+	e.stats.observe(ev)
+	if e.progress != nil {
+		e.progress(ev)
+	}
+}

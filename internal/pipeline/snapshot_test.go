@@ -74,7 +74,7 @@ func TestSnapshotRoundTripDeterminism(t *testing.T) {
 			if len(bs.Stages) != 1 || bs.Stages[0].Name != StageLoad {
 				t.Errorf("%s/w%d: loaded stats stages = %+v, want [%s]", strategy, workers, bs.Stages, StageLoad)
 			}
-			for _, forbidden := range []string{StageCluster, StageAnnotate} {
+			for _, forbidden := range []string{StageCluster, StageNeighbours, StageAnnotate} {
 				if _, ok := bs.Stage(forbidden); ok {
 					t.Errorf("%s/w%d: loaded stats carry build stage %q", strategy, workers, forbidden)
 				}

@@ -12,6 +12,15 @@ const (
 	StageAnnotate  = "annotate"  // Step 5: medoid annotation against the site
 	StageAssociate = "associate" // Step 6: post-to-cluster association
 	StageLoad      = "load"      // snapshot decode + index rebuild (replaces Steps 2-5 on LoadBuild)
+
+	// StageNeighbours is the accounting record of DBSCAN's phase one: the
+	// parallel eps-neighbourhood scan, the CPU analogue of the paper's GPU
+	// pairwise engine. It runs inside the cluster stage (one scan per fringe
+	// community), so it is recorded right after cluster completes; Items is
+	// the number of distinct hashes scanned and Duration the per-community
+	// scan wall times summed — a throughput record, not an extra serial
+	// phase.
+	StageNeighbours = "neighbours"
 )
 
 // StageStats records the wall-clock cost of one pipeline stage.
