@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# End-to-end serve-path smoke test, run by the CI `smoke` job and runnable
+# locally: build a corpus, build + persist an engine snapshot, boot memeserve
+# on it, and prove the full query path over HTTP — healthz, a single-hash
+# /v1/match, a full-corpus /v1/associate asserted against the memepipeline
+# -format json summary, a hot reload via the admin endpoint and via SIGHUP,
+# and a graceful SIGTERM shutdown.
+#
+# Requires: go, curl, jq. Association request bodies are assembled from
+# posts.jsonl with paste (never re-encoded by jq), so 64-bit pHash integers
+# survive verbatim; hashes cross the wire as hex strings.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+server_pid=""
+cleanup() {
+  [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+step() { echo "== $*"; }
+
+step "building binaries"
+mkdir -p "$workdir/bin"
+go build -o "$workdir/bin/" ./cmd/memegen ./cmd/memepipeline ./cmd/memeserve
+
+step "generating corpus"
+"$workdir/bin/memegen" -out "$workdir/corpus" -profile small >/dev/null
+
+step "building engine, saving snapshot, capturing the reference summary"
+"$workdir/bin/memepipeline" -in "$workdir/corpus" -save "$workdir/engine.snap" \
+  -format json >"$workdir/pipeline.json"
+expected_assoc=$(jq -r '.associations' "$workdir/pipeline.json")
+[ "$expected_assoc" -gt 0 ] || { echo "FAIL: pipeline summary reports no associations"; exit 1; }
+
+addr=127.0.0.1:18080
+step "booting memeserve on $addr"
+"$workdir/bin/memeserve" -addr "$addr" -load "$workdir/engine.snap" -in "$workdir/corpus" &
+server_pid=$!
+
+step "waiting for /v1/healthz"
+up=""
+for _ in $(seq 1 100); do
+  if curl -fsS "http://$addr/v1/healthz" >"$workdir/health.json" 2>/dev/null; then
+    up=1
+    break
+  fi
+  kill -0 "$server_pid" 2>/dev/null || { echo "FAIL: memeserve exited before becoming healthy"; exit 1; }
+  sleep 0.2
+done
+[ -n "$up" ] || { echo "FAIL: /v1/healthz never came up"; exit 1; }
+jq -e '.status == "ok" and .clusters > 0 and .annotated_clusters > 0' "$workdir/health.json" >/dev/null
+
+step "single-hash /v1/match on an annotated medoid"
+curl -fsS "http://$addr/v1/clusters" >"$workdir/clusters.json"
+medoid=$(jq -r '[.clusters[] | select(.annotated)][0].medoid_hash' "$workdir/clusters.json")
+curl -fsS -X POST -d "{\"hash\":\"$medoid\"}" "http://$addr/v1/match" >"$workdir/match.json"
+jq -e '.matched == true and .distance == 0' "$workdir/match.json" >/dev/null
+# The winning cluster's medoid must be the queried hash (ties between
+# identical medoids resolve to the lowest cluster ID, but the hash is the
+# same either way).
+winner=$(jq -r '.cluster_id' "$workdir/match.json")
+jq -e --argjson id "$winner" --arg h "$medoid" \
+  '.clusters[$id].medoid_hash == $h' "$workdir/clusters.json" >/dev/null
+
+step "full-corpus /v1/associate matches the memepipeline summary"
+{ printf '{"posts":['; paste -sd, "$workdir/corpus/posts.jsonl"; printf ']}'; } >"$workdir/assoc_req.json"
+curl -fsS -X POST --data-binary @"$workdir/assoc_req.json" \
+  "http://$addr/v1/associate" >"$workdir/assoc.json"
+got_assoc=$(jq -r '.matched' "$workdir/assoc.json")
+got_len=$(jq -r '.associations | length' "$workdir/assoc.json")
+if [ "$got_assoc" != "$expected_assoc" ] || [ "$got_len" != "$expected_assoc" ]; then
+  echo "FAIL: /v1/associate matched $got_assoc ($got_len rows), memepipeline summary says $expected_assoc"
+  exit 1
+fi
+
+step "hot reload via /v1/admin/reload"
+curl -fsS -X POST "http://$addr/v1/admin/reload" >"$workdir/reload.json"
+jq -e '.generation == 2 and .clusters > 0' "$workdir/reload.json" >/dev/null
+
+step "hot reload via SIGHUP"
+kill -HUP "$server_pid"
+gen=""
+for _ in $(seq 1 50); do
+  gen=$(curl -fsS "http://$addr/v1/healthz" | jq -r '.generation')
+  [ "$gen" = "3" ] && break
+  sleep 0.2
+done
+[ "$gen" = "3" ] || { echo "FAIL: generation after SIGHUP = $gen, want 3"; exit 1; }
+
+step "association results identical after both reloads"
+curl -fsS -X POST --data-binary @"$workdir/assoc_req.json" \
+  "http://$addr/v1/associate" >"$workdir/assoc_after.json"
+if ! diff <(jq -S 'del(.generation)' "$workdir/assoc.json") \
+          <(jq -S 'del(.generation)' "$workdir/assoc_after.json") >/dev/null; then
+  echo "FAIL: /v1/associate output changed across hot reloads"
+  exit 1
+fi
+
+step "statsz sanity"
+curl -fsS "http://$addr/v1/statsz" >"$workdir/stats.json"
+jq -e '.requests.errors == 0 and .reloads == 2 and .requests.associate == 2' "$workdir/stats.json" >/dev/null
+
+step "graceful shutdown on SIGTERM"
+kill -TERM "$server_pid"
+if ! wait "$server_pid"; then
+  echo "FAIL: memeserve exited non-zero on SIGTERM"
+  exit 1
+fi
+server_pid=""
+
+echo "SMOKE PASSED: healthz, match, associate ($expected_assoc associations), 2 hot reloads, graceful shutdown"

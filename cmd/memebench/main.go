@@ -22,11 +22,13 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 
 	"github.com/memes-pipeline/memes"
@@ -43,8 +45,13 @@ func main() {
 	out := flag.String("out", "", "output path (default BENCH_<label>.json)")
 	benchtime := flag.String("benchtime", "", "benchmark time target, as accepted by -test.benchtime (e.g. 1x, 2s)")
 	workers := flag.Int("workers", 0, "full worker-pool size for the parallel variants (0 = GOMAXPROCS)")
+	baseline := flag.String("baseline", "", "committed BENCH_<label>.json to gate this run against; exits non-zero on regression")
+	regress := flag.Float64("regress", 0.30, "tolerated fractional images/sec drop vs -baseline before the gate fails")
 	testing.Init()
 	flag.Parse()
+	if err := validateLabel(*label); err != nil {
+		log.Fatalf("invalid -label %q: %v", *label, err)
+	}
 	if *benchtime != "" {
 		if err := flag.Set("test.benchtime", *benchtime); err != nil {
 			log.Fatalf("invalid -benchtime %q: %v", *benchtime, err)
@@ -108,6 +115,50 @@ func main() {
 		log.Fatalf("writing %s: %v", path, err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d benchmark results to %s\n", len(doc.Benchmarks), path)
+
+	// The trajectory gate: the fresh point must not fall off a cliff
+	// relative to the committed baseline on the two images/sec headlines —
+	// the full build path and the Step 6 serve path. The tolerance absorbs
+	// runner noise; order-of-magnitude regressions fail the run.
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			log.Fatalf("reading baseline: %v", err)
+		}
+		var base cli.BenchDoc
+		if err := json.Unmarshal(raw, &base); err != nil {
+			log.Fatalf("decoding baseline %s: %v", *baseline, err)
+		}
+		violations := cli.CompareBench(&base, &doc, gatedPrefixes, "images_per_sec", *regress)
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "REGRESSION: "+v)
+		}
+		if len(violations) > 0 {
+			log.Fatalf("%d throughput regression(s) vs %s", len(violations), *baseline)
+		}
+		fmt.Fprintf(os.Stderr, "no throughput regression vs %s (tolerance %.0f%%)\n", *baseline, 100**regress)
+	}
+}
+
+// gatedPrefixes names the benchmark families the -baseline gate covers: the
+// end-to-end build path and the per-strategy serve path.
+var gatedPrefixes = []string{"PipelineRun/", "EngineAssociate/"}
+
+// validateLabel rejects labels that would escape the working directory when
+// interpolated into the BENCH_<label>.json output filename.
+func validateLabel(label string) error {
+	if label == "" {
+		return errors.New("label is empty")
+	}
+	if strings.ContainsAny(label, `/\`) || strings.Contains(label, "..") {
+		return errors.New("label must not contain path separators or ..")
+	}
+	for _, r := range label {
+		if r <= 0x20 || r == 0x7f {
+			return fmt.Errorf("label contains control or space character %q", r)
+		}
+	}
+	return nil
 }
 
 // benchState is the shared corpus — benchcorpus.Config, the same corpus

@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+// TestValidateLabel pins the fix for the unvalidated -label interpolation:
+// a label lands verbatim in the BENCH_<label>.json output path, so anything
+// that could traverse directories must be rejected.
+func TestValidateLabel(t *testing.T) {
+	for _, label := range []string{"ci", "pr4", "local", "run-2026.07", "a_b"} {
+		if err := validateLabel(label); err != nil {
+			t.Errorf("validateLabel(%q) = %v, want nil", label, err)
+		}
+	}
+	for _, label := range []string{
+		"",
+		"../escape",
+		"..",
+		"a/b",
+		`a\b`,
+		"/etc/passwd",
+		"nested/../../up",
+		"sp ace",
+		"tab\tlabel",
+		"new\nline",
+	} {
+		if err := validateLabel(label); err == nil {
+			t.Errorf("validateLabel(%q) accepted, want error", label)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Command memeserve serves a built engine snapshot over HTTP: the
+// production front of the build-once / query-many split. memepipeline -save
+// (or Engine.Save) produces the MEMESNAP artifact on a build box; memeserve
+// loads it — skipping Steps 2-5 entirely — and answers Step 6 association
+// traffic from the resident engine, the regime the paper operates in when
+// it runs association over 160M images against a fixed set of annotated
+// clusters.
+//
+// Usage:
+//
+//	memeserve -load engine.snap -in ./corpus [-addr :8080] [-index bktree|multiindex|sharded]
+//	          [-workers N] [-max-batch 256] [-drain 10s]
+//
+// -in names the corpus directory (written by memegen) whose annotation site
+// the snapshot's entries are resolved against — the same site the build
+// used.
+//
+// The server hot-reloads: SIGHUP or POST /v1/admin/reload re-reads the
+// snapshot file and atomically swaps the fresh engine in with zero dropped
+// requests, so a rebuilt artifact can be rolled out by overwriting the file
+// and signalling the process. SIGTERM/SIGINT drain connections gracefully
+// (bounded by -drain) before exiting.
+//
+// API: POST /v1/associate, /v1/match, /v1/match/image; GET /v1/healthz,
+// /v1/statsz, /v1/clusters; POST /v1/admin/reload — see internal/server.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/memes-pipeline/memes"
+	"github.com/memes-pipeline/memes/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	load := flag.String("load", "", "engine snapshot to serve (written by memepipeline -save); required")
+	in := flag.String("in", "corpus", "corpus directory providing the annotation site the snapshot was built against")
+	indexStrategy := flag.String("index", "", "medoid index strategy (empty = default): "+strategyList())
+	workers := flag.Int("workers", 0, "worker pool bound for query fan-out (0 = GOMAXPROCS)")
+	maxBatch := flag.Int("max-batch", server.DefaultMaxBatch, "max concurrent /v1/match lookups coalesced into one fan-out")
+	drain := flag.Duration("drain", 10*time.Second, "connection-draining timeout on SIGTERM")
+	flag.Parse()
+	if *load == "" {
+		log.Fatal("memeserve: -load is required (build a snapshot with memepipeline -save)")
+	}
+
+	// The annotation site is rebuilt once from the corpus and shared by
+	// every (re)load: snapshot entries are resolved by name against it, so
+	// serving the wrong corpus's site fails loudly at load time.
+	ds, err := memes.LoadDataset(*in)
+	if err != nil {
+		log.Fatalf("memeserve: loading corpus: %v", err)
+	}
+	site, err := ds.Site(true)
+	if err != nil {
+		log.Fatalf("memeserve: building annotation site: %v", err)
+	}
+
+	loader := func() (*memes.Engine, error) {
+		f, err := os.Open(*load)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		opts := []memes.Option{memes.WithWorkers(*workers)}
+		if *indexStrategy != "" {
+			opts = append(opts, memes.WithIndex(memes.IndexStrategy(*indexStrategy)))
+		}
+		return memes.LoadEngine(f, site, opts...)
+	}
+
+	srv, err := server.New(server.Config{Loader: loader, MaxBatch: *maxBatch})
+	if err != nil {
+		log.Fatalf("memeserve: %v", err)
+	}
+	defer srv.Close()
+	eng := srv.Engine()
+	log.Printf("memeserve: loaded %s (%d clusters) — serving on %s", *load, len(eng.Clusters()), *addr)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// SIGHUP: hot-swap a freshly built snapshot under live traffic.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			st, err := srv.Reload()
+			if err != nil {
+				log.Printf("memeserve: SIGHUP reload failed (old engine keeps serving): %v", err)
+				continue
+			}
+			log.Printf("memeserve: reloaded %s: generation %d, %d clusters in %.1fms",
+				*load, st.Generation, st.Clusters, st.LoadMS)
+		}
+	}()
+
+	// SIGTERM/SIGINT: stop accepting, drain in-flight connections, exit 0.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatalf("memeserve: serve: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("memeserve: shutting down (draining up to %v)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		// Draining failed — force-close the remaining connections and exit
+		// non-zero: requests were dropped, and the exit code must say so.
+		httpSrv.Close()
+		log.Fatalf("memeserve: drain did not complete, connections force-closed: %v", err)
+	}
+	log.Print("memeserve: drained, bye")
+}
+
+// strategyList renders the registered index strategies for the -index flag
+// help text.
+func strategyList() string {
+	var names []string
+	for _, s := range memes.IndexStrategies() {
+		names = append(names, string(s))
+	}
+	return strings.Join(names, ", ")
+}

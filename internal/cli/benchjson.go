@@ -1,7 +1,9 @@
 package cli
 
 import (
+	"fmt"
 	"runtime"
+	"strings"
 	"testing"
 )
 
@@ -68,4 +70,48 @@ func (d *BenchDoc) Bench(name string) (BenchJSON, bool) {
 		}
 	}
 	return BenchJSON{}, false
+}
+
+// CompareBench gates a fresh trajectory point against a committed baseline:
+// for every baseline benchmark whose name starts with one of prefixes and
+// that carries metric, the fresh document must report at least
+// (1-tolerance)× the baseline's value. One human-readable line is returned
+// per violation (regression past the tolerance, or a gated benchmark missing
+// from the fresh run); an empty slice means the gate passes. Benchmarks
+// present only in the fresh document are ignored — new machines and new
+// benchmarks must not fail the gate — and so are cross-run differences the
+// tolerance absorbs, so the gate catches order-of-magnitude cliffs, not
+// runner noise.
+func CompareBench(baseline, fresh *BenchDoc, prefixes []string, metric string, tolerance float64) []string {
+	var violations []string
+	for _, base := range baseline.Benchmarks {
+		gated := false
+		for _, p := range prefixes {
+			if strings.HasPrefix(base.Name, p) {
+				gated = true
+				break
+			}
+		}
+		if !gated {
+			continue
+		}
+		want, ok := base.Metrics[metric]
+		if !ok || want <= 0 {
+			continue
+		}
+		got, ok := fresh.Bench(base.Name)
+		if !ok {
+			violations = append(violations,
+				fmt.Sprintf("%s: present in baseline %q but missing from fresh run %q", base.Name, baseline.Label, fresh.Label))
+			continue
+		}
+		have := got.Metrics[metric]
+		floor := want * (1 - tolerance)
+		if have < floor {
+			violations = append(violations,
+				fmt.Sprintf("%s: %s regressed %.0f -> %.0f (%.1f%% of baseline, floor %.0f at tolerance %.0f%%)",
+					base.Name, metric, want, have, 100*have/want, floor, 100*tolerance))
+		}
+	}
+	return violations
 }

@@ -261,3 +261,81 @@ func TestSnapshotRejectsGarbage(t *testing.T) {
 		t.Fatal("nil site accepted")
 	}
 }
+
+// buildSnapshotBytes builds one small snapshot and returns it with the site
+// it must be loaded against; shared by the exhaustive corruption tests.
+func buildSnapshotBytes(t *testing.T) ([]byte, *annotate.Site) {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.SmallConfig())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	site, err := ds.Site(true)
+	if err != nil {
+		t.Fatalf("Site: %v", err)
+	}
+	b, err := Build(context.Background(), ds, site, DefaultConfig(), nil)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := b.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	return buf.Bytes(), site
+}
+
+// TestSnapshotRejectsEveryTruncation cuts the stream at every possible
+// length — through the header, mid-config, mid-community-summary,
+// mid-cluster, mid-annotation-string, and inside the CRC trailer — and
+// demands a loud load error for each. TestSnapshotRejectsGarbage samples a
+// single offset; every section boundary gets covered here.
+func TestSnapshotRejectsEveryTruncation(t *testing.T) {
+	snap, site := buildSnapshotBytes(t)
+	for n := 0; n < len(snap); n++ {
+		if _, err := LoadBuild(bytes.NewReader(snap[:n]), site, nil, nil, nil); err == nil {
+			t.Fatalf("snapshot truncated to %d of %d bytes loaded successfully", n, len(snap))
+		}
+	}
+	if _, err := LoadBuild(bytes.NewReader(snap), site, nil, nil, nil); err != nil {
+		t.Fatalf("untruncated snapshot rejected: %v", err)
+	}
+}
+
+// TestSnapshotRejectsEveryByteFlip corrupts each byte of the stream in turn:
+// header flips must fail the magic/version checks, payload flips the CRC
+// check (or a structural read on the way to it), trailer flips the checksum
+// comparison itself. No single-byte corruption may load.
+func TestSnapshotRejectsEveryByteFlip(t *testing.T) {
+	snap, site := buildSnapshotBytes(t)
+	corrupt := make([]byte, len(snap))
+	for i := 0; i < len(snap); i++ {
+		copy(corrupt, snap)
+		corrupt[i] ^= 0xff
+		if _, err := LoadBuild(bytes.NewReader(corrupt), site, nil, nil, nil); err == nil {
+			t.Fatalf("snapshot with byte %d of %d flipped loaded successfully", i, len(snap))
+		}
+	}
+}
+
+// TestSnapshotChecksumTrailerBoundaries pins the CRC trailer specifically:
+// flipping any of the four stored checksum bytes must produce the checksum
+// mismatch error (not a structural one), and truncating into the trailer
+// must fail reading the checksum.
+func TestSnapshotChecksumTrailerBoundaries(t *testing.T) {
+	snap, site := buildSnapshotBytes(t)
+	for i := len(snap) - 4; i < len(snap); i++ {
+		corrupt := append([]byte(nil), snap...)
+		corrupt[i] ^= 0x01
+		_, err := LoadBuild(bytes.NewReader(corrupt), site, nil, nil, nil)
+		if err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+			t.Fatalf("trailer byte %d flipped: err = %v, want checksum mismatch", i, err)
+		}
+	}
+	for drop := 1; drop <= 4; drop++ {
+		_, err := LoadBuild(bytes.NewReader(snap[:len(snap)-drop]), site, nil, nil, nil)
+		if err == nil || !strings.Contains(err.Error(), "checksum") {
+			t.Fatalf("trailer truncated by %d: err = %v, want checksum read failure", drop, err)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package server
+
+import (
+	"context"
+	"errors"
+
+	"github.com/memes-pipeline/memes"
+)
+
+// errBatcherClosed is returned to lookups that race the server shutdown.
+var errBatcherClosed = errors.New("server: batcher closed")
+
+// batcher coalesces concurrent single-hash lookups into one Engine.Associate
+// fan-out. /v1/match is the highest-rate endpoint of the serving layer, and
+// answering each lookup with its own index probe leaves the engine's worker
+// pool idle; the batcher instead drains every lookup that is queued at the
+// moment one arrives (up to maxBatch) and submits them as a single post
+// batch, so concurrent traffic is answered by one parallel fan-out bounded
+// by the engine's Config.Workers. Under a single in-flight request the batch
+// degenerates to size 1 and costs one channel hop — there is no timer and no
+// added latency floor.
+//
+// Every batch pins one engine generation from the hot handle, so all lookups
+// coalesced together are answered by the same artifact even while a hot
+// reload swaps the engine underneath.
+type batcher struct {
+	hot      *memes.HotEngine
+	reqs     chan *matchReq
+	maxBatch int
+	stats    *counters
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// matchReq is one queued lookup; resp is buffered so the dispatcher never
+// blocks on a caller that gave up (context cancellation).
+type matchReq struct {
+	hash memes.Hash
+	resp chan matchOut
+}
+
+// matchOut is the lookup answer plus the pinned (engine, generation) pair
+// that produced it, so the handler resolves cluster metadata — and labels
+// the response — against exactly the artifact that answered.
+type matchOut struct {
+	m   memes.Match
+	ok  bool
+	eng *memes.Engine
+	gen uint64
+	err error
+}
+
+// newBatcher starts the dispatcher goroutine; Close stops it.
+func newBatcher(hot *memes.HotEngine, maxBatch int, stats *counters) *batcher {
+	b := &batcher{
+		hot:      hot,
+		reqs:     make(chan *matchReq, maxBatch),
+		maxBatch: maxBatch,
+		stats:    stats,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go b.run()
+	return b
+}
+
+// Match queues one lookup and waits for its batch to be answered.
+func (b *batcher) Match(ctx context.Context, h memes.Hash) matchOut {
+	req := &matchReq{hash: h, resp: make(chan matchOut, 1)}
+	select {
+	case b.reqs <- req:
+	case <-ctx.Done():
+		return matchOut{err: ctx.Err()}
+	case <-b.stop:
+		return matchOut{err: errBatcherClosed}
+	}
+	select {
+	case out := <-req.resp:
+		return out
+	case <-ctx.Done():
+		return matchOut{err: ctx.Err()}
+	case <-b.done:
+		// The dispatcher has exited. Either it flushed this lookup on its
+		// way out (the buffered response is already there) or it never
+		// will; a final non-blocking read distinguishes the two, so no
+		// caller is left waiting on a response that cannot come.
+		select {
+		case out := <-req.resp:
+			return out
+		default:
+			return matchOut{err: errBatcherClosed}
+		}
+	}
+}
+
+// Close stops the dispatcher and waits for it to exit. Lookups still queued
+// when it exits are answered with errBatcherClosed by Match's done-case;
+// none can hang.
+func (b *batcher) Close() {
+	close(b.stop)
+	<-b.done
+}
+
+func (b *batcher) run() {
+	defer close(b.done)
+	for {
+		select {
+		case <-b.stop:
+			return
+		case first := <-b.reqs:
+			batch := []*matchReq{first}
+		drain:
+			for len(batch) < b.maxBatch {
+				select {
+				case r := <-b.reqs:
+					batch = append(batch, r)
+				default:
+					break drain
+				}
+			}
+			b.flush(batch)
+		}
+	}
+}
+
+// flush answers one coalesced batch with a single Associate fan-out against
+// one pinned engine generation. Associate and Match share the same winner
+// selection (nearest annotated medoid, ties to the lowest cluster ID), so a
+// batched lookup is bitwise-identical to a direct Engine.Match.
+func (b *batcher) flush(batch []*matchReq) {
+	eng, gen := b.hot.Pin()
+	posts := make([]memes.Post, len(batch))
+	for i, req := range batch {
+		posts[i] = memes.Post{HasImage: true, Hash: uint64(req.hash)}
+	}
+	assocs, err := eng.Associate(context.Background(), posts)
+	if err != nil {
+		for _, req := range batch {
+			req.resp <- matchOut{err: err}
+		}
+		return
+	}
+	b.stats.observeBatch(len(batch))
+	outs := make([]matchOut, len(batch))
+	for i := range outs {
+		outs[i] = matchOut{eng: eng, gen: gen}
+	}
+	for _, a := range assocs {
+		outs[a.PostIndex].m = memes.Match{ClusterID: a.ClusterID, Distance: a.Distance}
+		outs[a.PostIndex].ok = true
+	}
+	for i, req := range batch {
+		req.resp <- outs[i]
+	}
+}

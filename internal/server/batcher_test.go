@@ -1,0 +1,189 @@
+package server
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/memes-pipeline/memes"
+)
+
+// batcherEngine builds one engine plus its corpus for the batcher tests.
+func batcherEngine(t *testing.T) (*memes.Engine, *memes.Dataset) {
+	t.Helper()
+	ds, err := memes.GenerateDataset(memes.SmallDatasetConfig())
+	if err != nil {
+		t.Fatalf("GenerateDataset: %v", err)
+	}
+	site, err := ds.Site(true)
+	if err != nil {
+		t.Fatalf("Site: %v", err)
+	}
+	eng, err := memes.NewEngine(t.Context(), ds, site)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	return eng, ds
+}
+
+// TestBatcherCoalescesQueuedLookups pins the coalescing contract
+// deterministically: lookups queued before the dispatcher starts are
+// answered by a single Associate fan-out, and each answer is identical to a
+// direct Engine.Match.
+func TestBatcherCoalescesQueuedLookups(t *testing.T) {
+	eng, ds := batcherEngine(t)
+	var hashes []memes.Hash
+	for _, c := range eng.Clusters() {
+		hashes = append(hashes, c.MedoidHash)
+	}
+	for i := 0; i < len(ds.Posts) && len(hashes) < 64; i++ {
+		if ds.Posts[i].HasImage {
+			hashes = append(hashes, ds.Posts[i].PHash())
+		}
+	}
+
+	var stats counters
+	b := &batcher{
+		hot:      memes.NewHotEngine(eng),
+		reqs:     make(chan *matchReq, len(hashes)),
+		maxBatch: len(hashes),
+		stats:    &stats,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	// Queue every lookup before the dispatcher runs: the first receive plus
+	// the non-blocking drain must coalesce all of them into one flush.
+	reqs := make([]*matchReq, len(hashes))
+	for i, h := range hashes {
+		reqs[i] = &matchReq{hash: h, resp: make(chan matchOut, 1)}
+		b.reqs <- reqs[i]
+	}
+	go b.run()
+	defer b.Close()
+
+	for i, req := range reqs {
+		out := <-req.resp
+		if out.err != nil {
+			t.Fatalf("lookup %d: %v", i, out.err)
+		}
+		wantM, wantOK, err := eng.Match(context.Background(), hashes[i])
+		if err != nil {
+			t.Fatalf("engine Match: %v", err)
+		}
+		if out.ok != wantOK || (wantOK && out.m != wantM) {
+			t.Fatalf("lookup %016x: batched (%+v,%v) != direct (%+v,%v)",
+				uint64(hashes[i]), out.m, out.ok, wantM, wantOK)
+		}
+	}
+	if got := stats.batches.Load(); got != 1 {
+		t.Fatalf("batches = %d, want 1 (all queued lookups coalesced)", got)
+	}
+	if got := stats.batchedRequests.Load(); got != int64(len(hashes)) {
+		t.Fatalf("batched_requests = %d, want %d", got, len(hashes))
+	}
+	if got := stats.largestBatch.Load(); got != int64(len(hashes)) {
+		t.Fatalf("largest_batch = %d, want %d", got, len(hashes))
+	}
+}
+
+// TestBatcherConcurrentCallers hammers Match from many goroutines through
+// the public construction path and cross-checks every answer.
+func TestBatcherConcurrentCallers(t *testing.T) {
+	eng, ds := batcherEngine(t)
+	var stats counters
+	b := newBatcher(memes.NewHotEngine(eng), 32, &stats)
+	defer b.Close()
+
+	var hashes []memes.Hash
+	for i := 0; i < len(ds.Posts) && len(hashes) < 200; i++ {
+		if ds.Posts[i].HasImage {
+			hashes = append(hashes, ds.Posts[i].PHash())
+		}
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := w; i < len(hashes); i += 8 {
+				out := b.Match(ctx, hashes[i])
+				if out.err != nil {
+					t.Errorf("Match %016x: %v", uint64(hashes[i]), out.err)
+					return
+				}
+				wantM, wantOK, err := eng.Match(ctx, hashes[i])
+				if err != nil {
+					t.Errorf("engine Match: %v", err)
+					return
+				}
+				if out.ok != wantOK || (wantOK && out.m != wantM) {
+					t.Errorf("Match %016x: batched (%+v,%v) != direct (%+v,%v)",
+						uint64(hashes[i]), out.m, out.ok, wantM, wantOK)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if stats.batchedRequests.Load() != int64(len(hashes)) {
+		t.Fatalf("batched_requests = %d, want %d", stats.batchedRequests.Load(), len(hashes))
+	}
+}
+
+// TestBatcherClosedAndCancelled covers the shutdown and caller-gave-up
+// paths.
+func TestBatcherClosedAndCancelled(t *testing.T) {
+	eng, _ := batcherEngine(t)
+	var stats counters
+	b := newBatcher(memes.NewHotEngine(eng), 4, &stats)
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if out := b.Match(cancelled, 0); out.err == nil {
+		t.Fatal("Match with cancelled context succeeded")
+	}
+
+	b.Close()
+	if out := b.Match(context.Background(), 0); out.err != errBatcherClosed {
+		t.Fatalf("Match after Close: err = %v, want errBatcherClosed", out.err)
+	}
+}
+
+// TestBatcherCloseUnblocksQueuedLookup pins the shutdown-race fix: a lookup
+// that made it into the queue but whose batch the dispatcher never flushed
+// must be answered with errBatcherClosed when the dispatcher exits — not
+// hang forever waiting for a response that cannot come.
+func TestBatcherCloseUnblocksQueuedLookup(t *testing.T) {
+	eng, _ := batcherEngine(t)
+	var stats counters
+	// Construct without starting the dispatcher, so the enqueued lookup is
+	// deterministically never flushed.
+	b := &batcher{
+		hot:      memes.NewHotEngine(eng),
+		reqs:     make(chan *matchReq, 4),
+		maxBatch: 4,
+		stats:    &stats,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	res := make(chan matchOut, 1)
+	go func() { res <- b.Match(context.Background(), 0) }()
+	for len(b.reqs) == 0 {
+		runtime.Gosched() // wait until the lookup is in the queue
+	}
+	// Simulate the dispatcher exiting with the lookup still queued.
+	close(b.stop)
+	close(b.done)
+	select {
+	case out := <-res:
+		if out.err != errBatcherClosed {
+			t.Fatalf("queued lookup err = %v, want errBatcherClosed", out.err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued lookup hung after batcher shutdown")
+	}
+}

@@ -1,0 +1,450 @@
+// Package server is the production HTTP serving layer over a resident
+// memes.Engine: the subsystem that takes the paper's operating regime — a
+// fixed artifact of annotated clusters answering association queries over
+// community traffic (§7 runs Step 6 over 160M images) — onto the network.
+//
+// A Server loads its engine through a caller-supplied loader (typically
+// memes.LoadEngine over a MEMESNAP snapshot), serves goroutine-safe queries
+// from it, and hot-swaps a freshly built snapshot in with zero dropped
+// requests: every request pins one engine generation from a memes.HotEngine
+// for its whole lifetime, so Reload (wired to POST /v1/admin/reload and, in
+// cmd/memeserve, SIGHUP) replaces the artifact atomically while in-flight
+// requests finish on the generation they started with.
+//
+// The JSON API:
+//
+//	POST /v1/associate     {"posts":[…]}            batch Step 6 association
+//	POST /v1/match         {"hash":"…"}             single-hash lookup (micro-batched)
+//	POST /v1/match/image   raw image bytes          pHash (Step 1) + lookup
+//	GET  /v1/healthz                                liveness + resident artifact shape
+//	GET  /v1/statsz                                 request/batch/build counters
+//	GET  /v1/clusters                               the annotated-cluster artifact
+//	POST /v1/admin/reload                           hot-swap a fresh snapshot
+//
+// Concurrent /v1/match lookups are coalesced by a micro-batcher into single
+// Engine.Associate fan-outs bounded by the engine's worker pool; see
+// batcher.go.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"image"
+	_ "image/gif" // register the stdlib decoders for /v1/match/image
+	_ "image/jpeg"
+	_ "image/png"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/memes-pipeline/memes"
+	"github.com/memes-pipeline/memes/internal/cli"
+	"github.com/memes-pipeline/memes/internal/phash"
+)
+
+// DefaultMaxBatch bounds how many concurrent /v1/match lookups one
+// Associate fan-out may coalesce.
+const DefaultMaxBatch = 256
+
+// DefaultMaxBodyBytes bounds request bodies (associate batches, images).
+const DefaultMaxBodyBytes = 32 << 20
+
+// Config configures New.
+type Config struct {
+	// Loader produces the serving engine; it is called once by New and
+	// again on every Reload, so it must be safe to call repeatedly
+	// (typically: reopen the snapshot file and memes.LoadEngine it).
+	Loader func() (*memes.Engine, error)
+	// MaxBatch bounds the micro-batcher's coalescing window; 0 means
+	// DefaultMaxBatch.
+	MaxBatch int
+	// MaxBodyBytes bounds request bodies; 0 means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+}
+
+// Server serves a resident engine over HTTP. Construct with New, expose
+// with Handler, hot-swap with Reload, stop with Close.
+type Server struct {
+	hot      *memes.HotEngine
+	loader   func() (*memes.Engine, error)
+	batch    *batcher
+	stats    counters
+	started  time.Time
+	loadedAt atomic.Value // time.Time of the last successful (re)load
+	reloadMu sync.Mutex   // serialises Reload; queries never take it
+	maxBody  int64
+}
+
+// New calls cfg.Loader once and returns a Server serving the result.
+func New(cfg Config) (*Server, error) {
+	if cfg.Loader == nil {
+		return nil, errors.New("server: Config.Loader is required")
+	}
+	eng, err := cfg.Loader()
+	if err != nil {
+		return nil, fmt.Errorf("server: initial engine load: %w", err)
+	}
+	maxBatch := cfg.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = DefaultMaxBatch
+	}
+	maxBody := cfg.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = DefaultMaxBodyBytes
+	}
+	s := &Server{
+		hot:     memes.NewHotEngine(eng),
+		loader:  cfg.Loader,
+		started: time.Now(),
+		maxBody: maxBody,
+	}
+	s.loadedAt.Store(time.Now())
+	s.batch = newBatcher(s.hot, maxBatch, &s.stats)
+	return s, nil
+}
+
+// Engine pins the currently served engine generation.
+func (s *Server) Engine() *memes.Engine { return s.hot.Engine() }
+
+// Generation returns the hot-swap generation (1 after New, +1 per Reload).
+func (s *Server) Generation() uint64 { return s.hot.Generation() }
+
+// ReloadStatus describes one completed hot swap.
+type ReloadStatus struct {
+	Generation uint64        `json:"generation"`
+	Clusters   int           `json:"clusters"`
+	Duration   time.Duration `json:"-"`
+	LoadMS     float64       `json:"load_ms"`
+}
+
+// Reload runs the loader and atomically swaps the fresh engine in. Requests
+// in flight finish on the generation they pinned; no request is dropped or
+// blocked. Reloads are serialised; a failed load leaves the old engine
+// serving.
+func (s *Server) Reload() (ReloadStatus, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	start := time.Now()
+	eng, err := s.loader()
+	if err != nil {
+		return ReloadStatus{}, fmt.Errorf("server: reload: %w", err)
+	}
+	s.hot.Swap(eng)
+	s.loadedAt.Store(time.Now())
+	s.stats.reloads.Add(1)
+	d := time.Since(start)
+	return ReloadStatus{
+		Generation: s.hot.Generation(),
+		Clusters:   len(eng.Clusters()),
+		Duration:   d,
+		LoadMS:     float64(d) / float64(time.Millisecond),
+	}, nil
+}
+
+// Close stops the micro-batcher. The Server must not serve requests after
+// Close; shut the http.Server down first (connection draining), then Close.
+func (s *Server) Close() { s.batch.Close() }
+
+// Handler returns the server's HTTP handler. Method routing relies on the
+// stdlib mux, so wrong-method requests get 405 with an Allow header.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/associate", s.handleAssociate)
+	mux.HandleFunc("POST /v1/match", s.handleMatch)
+	mux.HandleFunc("POST /v1/match/image", s.handleMatchImage)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/statsz", s.handleStatsz)
+	mux.HandleFunc("GET /v1/clusters", s.handleClusters)
+	mux.HandleFunc("POST /v1/admin/reload", s.handleReload)
+	return mux
+}
+
+// --- responses ---------------------------------------------------------------
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	if code >= 400 {
+		s.stats.errors.Add(1)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
+	s.writeJSON(w, code, errorResponse{Error: msg})
+}
+
+type associationJSON struct {
+	PostIndex int    `json:"post_index"`
+	ClusterID int    `json:"cluster_id"`
+	Distance  int    `json:"distance"`
+	Entry     string `json:"entry,omitempty"`
+}
+
+type associateResponse struct {
+	Posts        int               `json:"posts"`
+	Matched      int               `json:"matched"`
+	Generation   uint64            `json:"generation"`
+	Associations []associationJSON `json:"associations"`
+}
+
+type matchResponse struct {
+	Matched    bool   `json:"matched"`
+	ClusterID  int    `json:"cluster_id"`
+	Distance   int    `json:"distance"`
+	Entry      string `json:"entry,omitempty"`
+	Community  string `json:"community,omitempty"`
+	Hash       string `json:"hash"`
+	Generation uint64 `json:"generation"`
+}
+
+type healthResponse struct {
+	Status            string `json:"status"`
+	Generation        uint64 `json:"generation"`
+	Clusters          int    `json:"clusters"`
+	AnnotatedClusters int    `json:"annotated_clusters"`
+}
+
+type clusterJSON struct {
+	ID             int    `json:"id"`
+	Community      string `json:"community"`
+	Entry          string `json:"entry,omitempty"`
+	Images         int    `json:"images"`
+	DistinctHashes int    `json:"distinct_hashes"`
+	MedoidHash     string `json:"medoid_hash"`
+	Annotated      bool   `json:"annotated"`
+	Racist         bool   `json:"racist,omitempty"`
+	Political      bool   `json:"political,omitempty"`
+}
+
+type clustersResponse struct {
+	Generation uint64        `json:"generation"`
+	Clusters   []clusterJSON `json:"clusters"`
+}
+
+// --- handlers ----------------------------------------------------------------
+
+func (s *Server) handleAssociate(w http.ResponseWriter, r *http.Request) {
+	s.stats.associateRequests.Add(1)
+	var req struct {
+		Posts []memes.Post `json:"posts"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return
+	}
+	eng, gen := s.hot.Pin()
+	assocs, err := eng.Associate(r.Context(), req.Posts)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "associate: "+err.Error())
+		return
+	}
+	s.stats.associatedPosts.Add(int64(len(req.Posts)))
+	s.stats.associations.Add(int64(len(assocs)))
+	resp := associateResponse{
+		Posts:        len(req.Posts),
+		Matched:      len(assocs),
+		Generation:   gen,
+		Associations: make([]associationJSON, 0, len(assocs)),
+	}
+	clusters := eng.Clusters()
+	for _, a := range assocs {
+		resp.Associations = append(resp.Associations, associationJSON{
+			PostIndex: a.PostIndex,
+			ClusterID: a.ClusterID,
+			Distance:  a.Distance,
+			Entry:     clusters[a.ClusterID].EntryName(),
+		})
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	s.stats.matchRequests.Add(1)
+	var req struct {
+		Hash json.RawMessage `json:"hash"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return
+	}
+	h, err := parseHash(req.Hash)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.answerMatch(w, r, h)
+}
+
+func (s *Server) handleMatchImage(w http.ResponseWriter, r *http.Request) {
+	s.stats.matchImageRequests.Add(1)
+	img, _, err := image.Decode(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "decoding image: "+err.Error())
+		return
+	}
+	// Step 1 on the serve path: the pooled zero-alloc pHash.
+	h, err := memes.HashImage(img)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "hashing image: "+err.Error())
+		return
+	}
+	s.answerMatch(w, r, h)
+}
+
+// answerMatch funnels both match endpoints through the micro-batcher and
+// renders the lookup against the engine generation that answered it.
+func (s *Server) answerMatch(w http.ResponseWriter, r *http.Request, h memes.Hash) {
+	out := s.batch.Match(r.Context(), h)
+	if out.err != nil {
+		s.writeError(w, http.StatusServiceUnavailable, "match: "+out.err.Error())
+		return
+	}
+	resp := matchResponse{
+		Matched:    out.ok,
+		ClusterID:  -1,
+		Distance:   -1,
+		Hash:       h.String(), // canonical 16-digit lowercase hex
+		Generation: out.gen,    // the generation that actually answered
+	}
+	if out.ok {
+		s.stats.matched.Add(1)
+		ci := &out.eng.Clusters()[out.m.ClusterID]
+		resp.ClusterID = out.m.ClusterID
+		resp.Distance = out.m.Distance
+		resp.Entry = ci.EntryName()
+		resp.Community = ci.Community.String()
+	} else {
+		s.stats.missed.Add(1)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	eng, gen := s.hot.Pin()
+	s.writeJSON(w, http.StatusOK, healthResponse{
+		Status:            "ok",
+		Generation:        gen,
+		Clusters:          len(eng.Clusters()),
+		AnnotatedClusters: annotatedCount(eng),
+	})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	eng, gen := s.hot.Pin()
+	doc := StatsDoc{
+		UptimeMS:          float64(time.Since(s.started)) / float64(time.Millisecond),
+		Generation:        gen,
+		LoadedAt:          s.loadedAt.Load().(time.Time).UTC().Format(time.RFC3339Nano),
+		Clusters:          len(eng.Clusters()),
+		AnnotatedClusters: annotatedCount(eng),
+		Reloads:           s.stats.reloads.Load(),
+		Requests: RequestStats{
+			Associate:  s.stats.associateRequests.Load(),
+			Match:      s.stats.matchRequests.Load(),
+			MatchImage: s.stats.matchImageRequests.Load(),
+			Reload:     s.stats.reloadRequests.Load(),
+			Errors:     s.stats.errors.Load(),
+		},
+		Match: MatchStats{
+			Matched: s.stats.matched.Load(),
+			Missed:  s.stats.missed.Load(),
+		},
+		Associate: AssocStats{
+			Posts:        s.stats.associatedPosts.Load(),
+			Associations: s.stats.associations.Load(),
+		},
+		Batcher: BatcherStats{
+			Batches:         s.stats.batches.Load(),
+			BatchedRequests: s.stats.batchedRequests.Load(),
+			LargestBatch:    s.stats.largestBatch.Load(),
+			MaxBatch:        s.batch.maxBatch,
+		},
+		BuildStats: cli.StatsDoc(eng.BuildStats()),
+	}
+	s.writeJSON(w, http.StatusOK, doc)
+}
+
+func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
+	eng, gen := s.hot.Pin()
+	clusters := eng.Clusters()
+	resp := clustersResponse{Generation: gen, Clusters: make([]clusterJSON, 0, len(clusters))}
+	for i := range clusters {
+		ci := &clusters[i]
+		resp.Clusters = append(resp.Clusters, clusterJSON{
+			ID:             ci.ID,
+			Community:      ci.Community.String(),
+			Entry:          ci.EntryName(),
+			Images:         ci.Images,
+			DistinctHashes: ci.DistinctHashes,
+			MedoidHash:     ci.MedoidHash.String(),
+			Annotated:      ci.Annotated(),
+			Racist:         ci.Racist,
+			Political:      ci.Political,
+		})
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	s.stats.reloadRequests.Add(1)
+	st, err := s.Reload()
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.writeJSON(w, http.StatusOK, st)
+}
+
+// --- helpers -----------------------------------------------------------------
+
+// annotatedCount counts the clusters the Step 6 index actually serves.
+func annotatedCount(eng *memes.Engine) int {
+	n := 0
+	clusters := eng.Clusters()
+	for i := range clusters {
+		if clusters[i].Annotated() {
+			n++
+		}
+	}
+	return n
+}
+
+// parseHash accepts the two wire forms of a perceptual hash: a JSON string
+// in the canonical hexadecimal form (optionally 0x-prefixed — what
+// /v1/clusters and /v1/match emit, immune to float mangling in
+// non-64-bit-integer JSON clients), or a bare JSON integer (the decimal
+// form posts.jsonl stores). Quoting selects the base: strings are always
+// hex (delegated to phash.Parse, which also caps the length at 16 digits,
+// so a stringified 17+-digit decimal fails loudly instead of silently
+// parsing as a different hash), bare integers always decimal.
+func parseHash(raw json.RawMessage) (memes.Hash, error) {
+	t := strings.TrimSpace(string(raw))
+	if t == "" || t == "null" {
+		return 0, errors.New(`missing "hash" field`)
+	}
+	if strings.HasPrefix(t, `"`) {
+		var s string
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return 0, fmt.Errorf("invalid hash string: %v", err)
+		}
+		h, err := phash.Parse(strings.TrimPrefix(strings.TrimSpace(s), "0x"))
+		if err != nil {
+			return 0, fmt.Errorf("invalid hex hash %q: %v", s, err)
+		}
+		return h, nil
+	}
+	v, err := strconv.ParseUint(t, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid hash %q: want a hex string or an unsigned integer", t)
+	}
+	return memes.Hash(v), nil
+}

@@ -1,0 +1,92 @@
+package server
+
+import (
+	"sync/atomic"
+
+	"github.com/memes-pipeline/memes/internal/cli"
+)
+
+// counters is the server's always-on operational accounting, maintained with
+// atomics so the hot serve path never takes a lock for bookkeeping. The
+// /v1/statsz endpoint renders it as one machine-readable document following
+// the same conventions as the repo's StatsJSON / BenchDoc contracts (stable
+// snake_case keys, arrays never null).
+type counters struct {
+	associateRequests  atomic.Int64
+	matchRequests      atomic.Int64
+	matchImageRequests atomic.Int64
+	reloadRequests     atomic.Int64
+
+	errors atomic.Int64 // requests answered with a non-2xx status
+
+	matched atomic.Int64 // single-hash lookups that found a cluster
+	missed  atomic.Int64 // single-hash lookups outside the threshold
+
+	associatedPosts atomic.Int64 // posts received by /v1/associate
+	associations    atomic.Int64 // associations returned by /v1/associate
+
+	batches         atomic.Int64 // Associate fan-outs the micro-batcher ran
+	batchedRequests atomic.Int64 // /v1/match lookups those fan-outs carried
+	largestBatch    atomic.Int64 // high-water mark of coalesced lookups
+
+	reloads atomic.Int64 // successful hot swaps (admin endpoint or SIGHUP)
+}
+
+// observeBatch records one micro-batcher fan-out of n coalesced lookups.
+func (c *counters) observeBatch(n int) {
+	c.batches.Add(1)
+	c.batchedRequests.Add(int64(n))
+	for {
+		cur := c.largestBatch.Load()
+		if int64(n) <= cur || c.largestBatch.CompareAndSwap(cur, int64(n)) {
+			return
+		}
+	}
+}
+
+// StatsDoc is the /v1/statsz response: request counters, micro-batcher
+// shape, hot-swap state, and the resident engine's build-phase RunStats.
+type StatsDoc struct {
+	UptimeMS          float64       `json:"uptime_ms"`
+	Generation        uint64        `json:"generation"`
+	LoadedAt          string        `json:"loaded_at"`
+	Clusters          int           `json:"clusters"`
+	AnnotatedClusters int           `json:"annotated_clusters"`
+	Reloads           int64         `json:"reloads"`
+	Requests          RequestStats  `json:"requests"`
+	Match             MatchStats    `json:"match"`
+	Associate         AssocStats    `json:"associate"`
+	Batcher           BatcherStats  `json:"batcher"`
+	BuildStats        cli.StatsJSON `json:"build_stats"`
+}
+
+// RequestStats counts requests per endpoint plus total error responses.
+type RequestStats struct {
+	Associate  int64 `json:"associate"`
+	Match      int64 `json:"match"`
+	MatchImage int64 `json:"match_image"`
+	Reload     int64 `json:"reload"`
+	Errors     int64 `json:"errors"`
+}
+
+// MatchStats counts single-hash lookup outcomes across /v1/match and
+// /v1/match/image.
+type MatchStats struct {
+	Matched int64 `json:"matched"`
+	Missed  int64 `json:"missed"`
+}
+
+// AssocStats counts /v1/associate volume.
+type AssocStats struct {
+	Posts        int64 `json:"posts"`
+	Associations int64 `json:"associations"`
+}
+
+// BatcherStats describes the micro-batcher's coalescing behaviour: how many
+// Associate fan-outs served how many /v1/match lookups.
+type BatcherStats struct {
+	Batches         int64 `json:"batches"`
+	BatchedRequests int64 `json:"batched_requests"`
+	LargestBatch    int64 `json:"largest_batch"`
+	MaxBatch        int   `json:"max_batch"`
+}
