@@ -15,7 +15,12 @@ cd "$(dirname "$0")/.."
 workdir=$(mktemp -d)
 server_pid=""
 cleanup() {
-  [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+  # An if, not `[ ... ] && kill || true`: the A && B || C form would run C
+  # whenever the kill itself fails, masking nothing here but tripping
+  # shellcheck SC2015's correct observation that it is not if-then-else.
+  if [ -n "$server_pid" ]; then
+    kill "$server_pid" 2>/dev/null || true
+  fi
   rm -rf "$workdir"
 }
 trap cleanup EXIT

@@ -1,0 +1,230 @@
+// Command memelint runs the custom analyzer suite of internal/lint — the
+// mechanical enforcement of the engine's determinism, cancellation, and
+// zero-alloc invariants plus the JSON wire-format pin.
+//
+// Standalone (findings to stdout, exit 1 when any are reported):
+//
+//	memelint ./...
+//	memelint -format json ./... > findings.json
+//
+// As a vet tool (findings relayed by go vet, exit 2 per the protocol):
+//
+//	go vet -vettool=$(which memelint) ./...
+//
+// Both modes analyze the same way: imports are resolved from compiled
+// export data (the build cache in standalone mode, go vet's unit-checker
+// config in vettool mode) and the target package is type-checked from
+// source, so no network access and no dependency outside the standard
+// library is needed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/memes-pipeline/memes/internal/lint"
+)
+
+// version participates in go vet's tool fingerprint (-V=full); bump it when
+// analyzer semantics change so vet cache entries from older semantics are
+// invalidated.
+const version = "memelint version 1.0.0"
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("memelint", flag.ContinueOnError)
+	format := fs.String("format", "text", "output format: text or json")
+	vFlag := fs.String("V", "", "print version and exit (go vet protocol; use -V=full)")
+	flagsFlag := fs.Bool("flags", false, "print analyzer flags in JSON and exit (go vet protocol)")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: memelint [-format text|json] packages...\n       go vet -vettool=memelint packages...\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *vFlag != "" {
+		// go vet probes tools with -V=full and mixes the reply into its
+		// action cache key.
+		fmt.Println(version)
+		return 0
+	}
+	if *flagsFlag {
+		// go vet asks tools which flags they accept; memelint's own flags
+		// are not meaningful through vet, so advertise none.
+		fmt.Println("[]")
+		return 0
+	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "memelint: unknown format %q (want text or json)\n", *format)
+		return 2
+	}
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runVet(rest[0])
+	}
+	if len(rest) == 0 {
+		fs.Usage()
+		return 2
+	}
+	return runStandalone(*format, rest)
+}
+
+// runStandalone lints the packages matched by the patterns in the current
+// directory's module context.
+func runStandalone(format string, patterns []string) int {
+	targets, exports, err := lint.GoListExports(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	fset := token.NewFileSet()
+	resolver := lint.NewResolver(fset, exports, nil, nil)
+	var all []lint.Diagnostic
+	for _, t := range targets {
+		cp, err := lint.Check(fset, t.ImportPath, t.Dir, t.GoFiles, resolver)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		diags, err := cp.Analyze(lint.Analyzers())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		all = append(all, diags...)
+	}
+	emit(os.Stdout, format, all)
+	if len(all) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// jsonFinding is the CI-consumable shape of one diagnostic.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is the top-level -format json document.
+type jsonReport struct {
+	Version  string        `json:"version"`
+	Findings []jsonFinding `json:"findings"`
+}
+
+// emit writes the findings in the requested format.
+func emit(w io.Writer, format string, diags []lint.Diagnostic) {
+	if format == "json" {
+		report := jsonReport{Version: version, Findings: []jsonFinding{}}
+		for _, d := range diags {
+			report.Findings = append(report.Findings, jsonFinding{
+				Analyzer: d.Analyzer,
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, "memelint:", err)
+		}
+		return
+	}
+	for _, d := range diags {
+		fmt.Fprintln(w, d)
+	}
+}
+
+// vetConfig is the unit-checker configuration go vet passes to -vettool
+// binaries as a trailing .cfg argument (see cmd/go's vet action and
+// x/tools' unitchecker protocol, re-implemented here on the standard
+// library).
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVet executes one unit-checker invocation: analyze the single package
+// described by the config, print findings in the file:line:col form go vet
+// relays, write the (empty) facts file the protocol requires, and exit 2
+// when there are findings.
+func runVet(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memelint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "memelint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// memelint records no cross-package facts, but the protocol requires
+	// the output file to exist before the driver caches the action.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "memelint:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	// The invariants memelint enforces apply to production code; go vet also
+	// feeds test variants (_test.go files included, import path suffixed with
+	// " [pkg.test]"), so filter tests out and analyze what remains under the
+	// real import path. Standalone mode gets the same view from go list.
+	goFiles := cfg.GoFiles[:0:0]
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			goFiles = append(goFiles, f)
+		}
+	}
+	if len(goFiles) == 0 {
+		return 0 // external test package: nothing in scope
+	}
+	importPath, _, _ := strings.Cut(cfg.ImportPath, " ")
+	fset := token.NewFileSet()
+	resolver := lint.NewResolver(fset, lint.ExportSet(cfg.PackageFile), cfg.ImportMap, nil)
+	cp, err := lint.Check(fset, importPath, cfg.Dir, goFiles, resolver)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	diags, err := cp.Analyze(lint.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -207,13 +207,10 @@ func (e *Engine) Associate(ctx context.Context, posts []Post) ([]Association, er
 
 // Match looks a single perceptual hash up against the annotated clusters.
 // The boolean is false when no annotated medoid lies within the association
-// threshold. Goroutine-safe.
+// threshold. Goroutine-safe; index strategies with internal query fan-out
+// honour cancellation mid-query.
 func (e *Engine) Match(ctx context.Context, h Hash) (Match, bool, error) {
-	if err := ctx.Err(); err != nil {
-		return Match{}, false, err
-	}
-	m, ok := e.build.Match(h)
-	return m, ok, nil
+	return e.build.MatchCtx(ctx, h)
 }
 
 // MatchImage hashes an image (Step 1) and looks it up with Match.

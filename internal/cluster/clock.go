@@ -1,0 +1,19 @@
+package cluster
+
+import "time"
+
+// The two helpers below are the only wall-clock access in this package.
+// Clustering output (labels, medoids, cluster order) must be a pure function
+// of the input — the detorder analyzer enforces that by rejecting direct
+// time.Now/time.Since calls here — but stage-timing stats legitimately need
+// the clock, so they route through these explicitly annotated functions.
+
+// now returns the wall clock for stage-timing stats.
+//
+//memes:nondet timing stats only; never influences labels or medoids
+func now() time.Time { return time.Now() }
+
+// since returns the elapsed wall time since t for stage-timing stats.
+//
+//memes:nondet timing stats only; never influences labels or medoids
+func since(t time.Time) time.Duration { return time.Since(t) }

@@ -5,6 +5,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -104,7 +105,15 @@ func (r Result) Members() [][]int {
 }
 
 // DBSCAN clusters the distinct perceptual hashes using density-based
-// clustering with the Hamming distance. The counts slice gives the number of
+// clustering with the Hamming distance. It is DBSCANCtx without
+// cancellation.
+func DBSCAN(hashes []phash.Hash, counts []int, cfg DBSCANConfig) (Result, error) {
+	return DBSCANCtx(context.Background(), hashes, counts, cfg)
+}
+
+// DBSCANCtx clusters the distinct perceptual hashes using density-based
+// clustering with the Hamming distance, honouring ctx cancellation during
+// the parallel neighbourhood scan. The counts slice gives the number of
 // occurrences of each hash (distinct hashes are the points, but density is
 // measured in occurrences, mirroring the paper's treatment of duplicate
 // images); pass nil to weight every hash equally.
@@ -120,7 +129,10 @@ func (r Result) Members() [][]int {
 // worker count — and identical to what the historical single-threaded
 // re-querying implementation produced (pinned by a property test and a fuzz
 // target against that reference).
-func DBSCAN(hashes []phash.Hash, counts []int, cfg DBSCANConfig) (Result, error) {
+//
+// Cancellation during phase one returns ctx.Err() with a zero Result; no
+// goroutine outlives the call.
+func DBSCANCtx(ctx context.Context, hashes []phash.Hash, counts []int, cfg DBSCANConfig) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -135,10 +147,13 @@ func DBSCAN(hashes []phash.Hash, counts []int, cfg DBSCANConfig) (Result, error)
 
 	// Phase one: every point's eps-neighbourhood and its total occurrence
 	// weight, computed in parallel by the batch pairwise primitive.
-	phaseStart := time.Now()
-	neigh := phash.Neighbourhoods(hashes, cfg.Eps, cfg.Workers)
+	phaseStart := now()
+	neigh, err := phash.NeighbourhoodsCtx(ctx, hashes, cfg.Eps, cfg.Workers)
+	if err != nil {
+		return Result{}, err
+	}
 	weights := make([]int, n)
-	parallel.For(n, cfg.Workers, func(i int) {
+	if err := parallel.ForCtx(ctx, n, cfg.Workers, func(i int) {
 		if counts == nil {
 			weights[i] = len(neigh[i])
 			return
@@ -148,8 +163,10 @@ func DBSCAN(hashes []phash.Hash, counts []int, cfg DBSCANConfig) (Result, error)
 			total += counts[j]
 		}
 		weights[i] = total
-	})
-	res.Neighbourhoods = NeighbourhoodStats{Duration: time.Since(phaseStart), Points: n}
+	}); err != nil {
+		return Result{}, err
+	}
+	res.Neighbourhoods = NeighbourhoodStats{Duration: since(phaseStart), Points: n}
 
 	// Phase two: deterministic serial expansion over the cached
 	// neighbourhoods — the same breadth-first traversal, in the same order,
@@ -207,17 +224,25 @@ func Medoid(hashes []phash.Hash, members []int) (int, bool) {
 }
 
 // MedoidParallel is Medoid with the outer candidate loop spread across a
-// worker pool (workers <= 0 means GOMAXPROCS). The member hashes are first
-// gathered into a contiguous popcount-friendly []uint64 block so the O(k²)
-// inner loop runs over sequential memory with a single XOR+popcount per
-// pair instead of chasing the cluster's member indirection. The result is
-// identical to Medoid for every worker count.
+// worker pool (workers <= 0 means GOMAXPROCS). It is MedoidParallelCtx
+// without cancellation.
 func MedoidParallel(hashes []phash.Hash, members []int, workers int) (int, bool) {
+	idx, ok, _ := MedoidParallelCtx(context.Background(), hashes, members, workers)
+	return idx, ok
+}
+
+// MedoidParallelCtx is Medoid with the outer candidate loop spread across a
+// worker pool (workers <= 0 means GOMAXPROCS), honouring ctx cancellation.
+// The member hashes are first gathered into a contiguous popcount-friendly
+// block so the O(k²) inner loop runs over sequential memory with a single
+// XOR+popcount per pair instead of chasing the cluster's member indirection.
+// The result is identical to Medoid for every worker count.
+func MedoidParallelCtx(ctx context.Context, hashes []phash.Hash, members []int, workers int) (int, bool, error) {
 	if len(members) == 0 {
-		return 0, false
+		return 0, false, ctx.Err()
 	}
 	if len(members) == 1 {
-		return members[0], true
+		return members[0], true, ctx.Err()
 	}
 	// Contiguous layout: hs[p] is the hash of members[p], so the inner loop
 	// runs a sequential XOR+popcount scan instead of chasing member indexes.
@@ -226,7 +251,7 @@ func MedoidParallel(hashes []phash.Hash, members []int, workers int) (int, bool)
 		hs[p] = hashes[i]
 	}
 	costs := make([]int64, len(members))
-	parallel.For(len(members), workers, func(p int) {
+	if err := parallel.ForCtx(ctx, len(members), workers, func(p int) {
 		h := hs[p]
 		var cost int64
 		for _, other := range hs {
@@ -234,7 +259,9 @@ func MedoidParallel(hashes []phash.Hash, members []int, workers int) (int, bool)
 			cost += d * d
 		}
 		costs[p] = cost
-	})
+	}); err != nil {
+		return 0, false, err
+	}
 	// The reduction runs serially over the precomputed costs, so the
 	// lowest-index tie-break matches the sequential implementation exactly.
 	bestIdx := members[0]
@@ -245,7 +272,7 @@ func MedoidParallel(hashes []phash.Hash, members []int, workers int) (int, bool)
 			bestIdx = i
 		}
 	}
-	return bestIdx, true
+	return bestIdx, true, nil
 }
 
 // Cluster is a materialised cluster: its label, member indexes, medoid index
@@ -267,11 +294,21 @@ func Materialize(hashes []phash.Hash, counts []int, res Result) []Cluster {
 }
 
 // MaterializeParallel is Materialize with medoid computation spread across a
-// worker pool (workers <= 0 means GOMAXPROCS). Clusters are materialised
-// concurrently and each cluster's medoid search is itself parallelised for
-// large clusters, but the returned slice is ordered by label and identical
-// to Materialize for every worker count.
+// worker pool (workers <= 0 means GOMAXPROCS). It is MaterializeParallelCtx
+// without cancellation.
 func MaterializeParallel(hashes []phash.Hash, counts []int, res Result, workers int) []Cluster {
+	out, _ := MaterializeParallelCtx(context.Background(), hashes, counts, res, workers)
+	return out
+}
+
+// MaterializeParallelCtx is Materialize with medoid computation spread
+// across a worker pool (workers <= 0 means GOMAXPROCS), honouring ctx
+// cancellation. Clusters are materialised concurrently and each cluster's
+// medoid search is itself parallelised for large clusters, but the returned
+// slice is ordered by label and identical to Materialize for every worker
+// count. On cancellation it returns (nil, ctx.Err()); no goroutine outlives
+// the call.
+func MaterializeParallelCtx(ctx context.Context, hashes []phash.Hash, counts []int, res Result, workers int) ([]Cluster, error) {
 	members := res.Members()
 	// Split the worker budget between the two nesting levels so the total
 	// number of CPU-bound goroutines stays ~workers: the cluster-level
@@ -297,7 +334,7 @@ func MaterializeParallel(hashes []phash.Hash, counts []int, res Result, workers 
 			medoidBudget = 1
 		}
 	}
-	return parallel.Map(len(labels), resolved, func(li int) Cluster {
+	return parallel.MapCtx(ctx, len(labels), resolved, func(li int) Cluster {
 		label := labels[li]
 		// Members() returns each slice already in ascending index order.
 		m := members[label]

@@ -13,6 +13,7 @@
 package index
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -46,13 +47,24 @@ type MedoidIndex interface {
 }
 
 // WorkerBound is implemented by indexes whose queries fan work out
-// internally (ShardedBK). The pipeline calls SetWorkers with its configured
-// worker bound right after construction, so one Config.Workers knob governs
-// every stage including per-query index parallelism; n == 0 means
-// GOMAXPROCS, n == 1 means fully sequential queries. Implementations must
-// serve identical results for any value.
+// internally (ShardedBK, MultiIndex). The pipeline calls SetWorkers with its
+// configured worker bound right after construction, so one Config.Workers
+// knob governs every stage including per-query index parallelism; n == 0
+// means GOMAXPROCS, n == 1 means fully sequential queries. Implementations
+// must serve identical results for any value.
 type WorkerBound interface {
 	SetWorkers(n int)
+}
+
+// CtxQuerier is implemented by indexes whose radius queries spawn internal
+// concurrency and can therefore honour cancellation (ShardedBK, MultiIndex).
+// RadiusCtx must return the same match set as Radius when ctx is never
+// cancelled, and (nil, ctx.Err()) once it is; no goroutine may outlive the
+// call. Query paths type-assert for this interface and fall back to the
+// plain Radius for purely sequential indexes (BKTree), which cannot block
+// on anything cancellable.
+type CtxQuerier interface {
+	RadiusCtx(ctx context.Context, q phash.Hash, radius int) ([]phash.Match, error)
 }
 
 // Strategy names a registered MedoidIndex implementation. The zero value
@@ -76,11 +88,16 @@ const (
 // Default is the strategy used when none is configured.
 const Default = BKTree
 
-// Every built-in implementation must satisfy the interface.
+// Every built-in implementation must satisfy the interface; the two indexes
+// with internal query fan-out must also be worker-bounded and cancellable.
 var (
 	_ MedoidIndex = (*phash.BKTree)(nil)
 	_ MedoidIndex = (*phash.MultiIndex)(nil)
 	_ MedoidIndex = (*ShardedBK)(nil)
+	_ WorkerBound = (*phash.MultiIndex)(nil)
+	_ WorkerBound = (*ShardedBK)(nil)
+	_ CtxQuerier  = (*phash.MultiIndex)(nil)
+	_ CtxQuerier  = (*ShardedBK)(nil)
 )
 
 var (

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"context"
 	"math/bits"
 
 	"github.com/memes-pipeline/memes/internal/parallel"
@@ -88,45 +89,68 @@ func (s *ShardedBK) Insert(h phash.Hash, id int64) {
 	s.shards[s.shardOf(h)].Insert(h, id)
 }
 
-// Radius returns all stored hashes within Hamming distance radius of q. The
-// per-shard queries run concurrently on the shared worker pool; results are
-// concatenated in shard order, so the output is deterministic.
+// Radius returns all stored hashes within Hamming distance radius of q. It
+// is RadiusCtx without cancellation.
 func (s *ShardedBK) Radius(q phash.Hash, radius int) []phash.Match {
+	out, _ := s.RadiusCtx(context.Background(), q, radius)
+	return out
+}
+
+// RadiusCtx returns all stored hashes within Hamming distance radius of q,
+// honouring ctx cancellation. The per-shard queries run concurrently on the
+// shared worker pool; results are concatenated in shard order, so the output
+// is deterministic. On cancellation the partial result is discarded and
+// ctx.Err() is returned; no goroutine outlives the call.
+func (s *ShardedBK) RadiusCtx(ctx context.Context, q phash.Hash, radius int) ([]phash.Match, error) {
 	if s.size == 0 || radius < 0 {
-		return nil
+		return nil, ctx.Err()
 	}
-	parts := parallel.Map(len(s.shards), s.workers, func(i int) []phash.Match {
+	parts, err := parallel.MapCtx(ctx, len(s.shards), s.workers, func(i int) []phash.Match {
 		return s.shards[i].Radius(q, radius)
 	})
+	if err != nil {
+		return nil, err
+	}
 	total := 0
 	for _, p := range parts {
 		total += len(p)
 	}
 	if total == 0 {
-		return nil
+		return nil, nil
 	}
 	out := make([]phash.Match, 0, total)
 	for _, p := range parts {
 		out = append(out, p...)
 	}
-	return out
+	return out, nil
 }
 
-// Nearest returns the stored hash closest to q. Each shard reports its own
-// nearest; ties between shards at the same distance are broken by the lowest
-// hash value, so the result is deterministic.
+// Nearest returns the stored hash closest to q. It is NearestCtx without
+// cancellation.
 func (s *ShardedBK) Nearest(q phash.Hash) (phash.Match, bool) {
+	m, ok, _ := s.NearestCtx(context.Background(), q)
+	return m, ok
+}
+
+// NearestCtx returns the stored hash closest to q, honouring ctx
+// cancellation. Each shard reports its own nearest; ties between shards at
+// the same distance are broken by the lowest hash value, so the result is
+// deterministic.
+func (s *ShardedBK) NearestCtx(ctx context.Context, q phash.Hash) (phash.Match, bool, error) {
 	if s.size == 0 {
-		return phash.Match{}, false
+		return phash.Match{}, false, ctx.Err()
 	}
 	type res struct {
 		m  phash.Match
 		ok bool
 	}
-	parts := parallel.Map(len(s.shards), s.workers, func(i int) res {
+	parts, err := parallel.MapCtx(ctx, len(s.shards), s.workers, func(i int) res {
 		m, ok := s.shards[i].Nearest(q)
 		return res{m: m, ok: ok}
 	})
+	if err != nil {
+		return phash.Match{}, false, err
+	}
 	best := phash.Match{Distance: phash.MaxDistance + 1}
 	found := false
 	for _, r := range parts {
@@ -139,7 +163,7 @@ func (s *ShardedBK) Nearest(q phash.Hash) (phash.Match, bool) {
 			found = true
 		}
 	}
-	return best, found
+	return best, found, nil
 }
 
 // Walk visits every distinct stored hash in shard order. Returning false

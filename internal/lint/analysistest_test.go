@@ -1,0 +1,184 @@
+package lint
+
+// Golden-test harness in the style of golang.org/x/tools/go/analysis/analysistest:
+// fixture packages live under testdata/src/<import path> (GOPATH layout, fake
+// module paths like example.com/memes/... so the suffix-based scope gating
+// behaves exactly as it does on the real tree), and expected findings are
+// `// want "regexp"` comments on the offending line. Standard-library imports
+// of the fixtures are resolved from compiled export data via one cached
+// `go list -export -deps` call; fixture-to-fixture imports are type-checked
+// from source through the Resolver's srcDir fallback.
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+const testdataSrc = "testdata/src"
+
+var (
+	exportsOnce sync.Once
+	exportsSet  ExportSet
+	exportsErr  error
+)
+
+// testExports returns export data for every non-fixture import appearing in
+// testdata, resolved once per test binary.
+func testExports(t *testing.T) ExportSet {
+	t.Helper()
+	exportsOnce.Do(func() {
+		paths, err := testdataImports()
+		if err != nil {
+			exportsErr = err
+			return
+		}
+		_, exportsSet, exportsErr = GoListExports(".", paths...)
+	})
+	if exportsErr != nil {
+		t.Fatalf("resolving testdata exports: %v", exportsErr)
+	}
+	return exportsSet
+}
+
+// testdataImports scans every fixture file for import paths outside the
+// fixture namespace.
+func testdataImports() ([]string, error) {
+	seen := make(map[string]bool)
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(testdataSrc, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				return err
+			}
+			if !strings.HasPrefix(p, "example.com/") {
+				seen[p] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	paths := make([]string, 0, len(seen))
+	for p := range seen {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// expectation is one parsed `// want "regexp"` comment.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hits int
+}
+
+// RunAnalyzerTest loads the fixture package at pkgPath, runs exactly one
+// analyzer over it, and compares the diagnostics against the fixture's
+// `// want` expectations.
+func RunAnalyzerTest(t *testing.T, a *Analyzer, pkgPath string) {
+	t.Helper()
+	dir := filepath.Join(testdataSrc, filepath.FromSlash(pkgPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if name := e.Name(); strings.HasSuffix(name, ".go") && !e.IsDir() {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	fset := token.NewFileSet()
+	srcDir := func(path string) (string, bool) {
+		d := filepath.Join(testdataSrc, filepath.FromSlash(path))
+		if st, err := os.Stat(d); err == nil && st.IsDir() {
+			return d, true
+		}
+		return "", false
+	}
+	r := NewResolver(fset, testExports(t), nil, srcDir)
+	cp, err := Check(fset, pkgPath, dir, names, r)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+	}
+	diags, err := cp.Analyze([]*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
+	}
+
+	wants := collectWants(t, fset, cp)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hits++
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if w.hits == 0 {
+			t.Errorf("%s:%d: no %s diagnostic matched %q", w.file, w.line, a.Name, w.re)
+		}
+	}
+}
+
+// collectWants parses every `// want "re" ["re" ...]` comment in the fixture.
+func collectWants(t *testing.T, fset *token.FileSet, cp *CheckedPackage) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range cp.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for rest = strings.TrimSpace(rest); rest != ""; rest = strings.TrimSpace(rest) {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s:%d: malformed want comment %q: %v", pos.Filename, pos.Line, c.Text, err)
+					}
+					unq, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: unquoting %q: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(unq)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, unq, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+					rest = rest[len(q):]
+				}
+			}
+		}
+	}
+	return wants
+}

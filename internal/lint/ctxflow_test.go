@@ -1,0 +1,11 @@
+package lint
+
+import "testing"
+
+func TestCtxFlow(t *testing.T) {
+	RunAnalyzerTest(t, CtxFlow, "example.com/memes/internal/query")
+}
+
+func TestCtxFlowExcludesParallel(t *testing.T) {
+	RunAnalyzerTest(t, CtxFlow, "example.com/memes/internal/parallel")
+}

@@ -1,0 +1,11 @@
+package lint
+
+import "testing"
+
+func TestDetOrder(t *testing.T) {
+	RunAnalyzerTest(t, DetOrder, "example.com/memes/internal/pipeline")
+}
+
+func TestDetOrderOutOfScope(t *testing.T) {
+	RunAnalyzerTest(t, DetOrder, "example.com/memes/internal/config")
+}

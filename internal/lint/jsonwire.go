@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// JSONWire pins the HTTP and CLI wire formats: every struct that reaches an
+// encoding/json encoder from internal/server or internal/cli must tag each
+// exported field with an explicit snake_case json name, so a rename or an
+// added field can never silently change the wire format to Go's default
+// CamelCase.
+//
+// Wire structs are found by seeding from (a) arguments of encoding/json
+// calls (Marshal, Unmarshal, Encode, Decode, ...) and (b) any struct
+// declaring at least one json-tagged field, then closing transitively over
+// field types declared in the same package. Structs never serialized
+// (configuration, internal state) are deliberately out of scope — tags on
+// them would promise a wire format that does not exist.
+var JSONWire = &Analyzer{
+	Name: "jsonwire",
+	Doc:  "requires explicit snake_case json tags on structs serialized by server and cli",
+	Run:  runJSONWire,
+}
+
+// snakeCaseName matches an explicit lowercase snake_case json field name.
+var snakeCaseName = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+func runJSONWire(pass *Pass) error {
+	if !inJSONWireScope(pass.Path) {
+		return nil
+	}
+
+	// Collect every struct type declared in this package.
+	structs := make(map[types.Object]*ast.StructType)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			if obj := pass.TypesInfo.ObjectOf(ts.Name); obj != nil {
+				structs[obj] = st
+			}
+			return true
+		})
+	}
+
+	wire := make(map[types.Object]bool)
+	var mark func(t types.Type)
+	mark = func(t types.Type) {
+		switch t := t.(type) {
+		case *types.Pointer:
+			mark(t.Elem())
+		case *types.Slice:
+			mark(t.Elem())
+		case *types.Array:
+			mark(t.Elem())
+		case *types.Map:
+			mark(t.Elem())
+		case *types.Named:
+			obj := t.Obj()
+			if _, local := structs[obj]; !local || wire[obj] {
+				return
+			}
+			wire[obj] = true
+			// Close over the field types.
+			if st, ok := t.Underlying().(*types.Struct); ok {
+				for i := 0; i < st.NumFields(); i++ {
+					mark(st.Field(i).Type())
+				}
+			}
+		case *types.Alias:
+			mark(types.Unalias(t))
+		}
+	}
+
+	// Seed (a): arguments of encoding/json calls.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if funcPkgPath(fn) != "encoding/json" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if t := pass.TypesInfo.TypeOf(arg); t != nil {
+					mark(t)
+				}
+			}
+			return true
+		})
+	}
+
+	// Seed (b): any struct already declaring a json tag.
+	for obj, st := range structs {
+		for _, field := range st.Fields.List {
+			if jsonTag(field) != "" {
+				mark(obj.Type())
+				break
+			}
+		}
+	}
+
+	// Check every wire struct's exported fields.
+	for obj, st := range structs {
+		if !wire[obj] {
+			continue
+		}
+		for _, field := range st.Fields.List {
+			checkWireField(pass, obj.Name(), field)
+		}
+	}
+	return nil
+}
+
+// jsonTag extracts the raw `json:"..."` tag value of a field, or "".
+func jsonTag(field *ast.Field) string {
+	if field.Tag == nil {
+		return ""
+	}
+	unquoted, err := strconv.Unquote(field.Tag.Value)
+	if err != nil {
+		return ""
+	}
+	return reflect.StructTag(unquoted).Get("json")
+}
+
+// checkWireField validates one field of a wire struct.
+func checkWireField(pass *Pass, structName string, field *ast.Field) {
+	// Embedded fields flatten into the parent; their own declaration is
+	// checked where the embedded type is defined.
+	if len(field.Names) == 0 {
+		return
+	}
+	tag := jsonTag(field)
+	for _, name := range field.Names {
+		if !name.IsExported() {
+			continue
+		}
+		if tag == "" {
+			pass.Reportf(name.Pos(), "field %s.%s is serialized by encoding/json but has no json tag: the wire name would silently track the Go identifier; tag it with an explicit snake_case name (or json:\"-\")", structName, name.Name)
+			continue
+		}
+		wireName, _, _ := strings.Cut(tag, ",")
+		if wireName == "-" {
+			continue
+		}
+		if !snakeCaseName.MatchString(wireName) {
+			pass.Reportf(name.Pos(), "field %s.%s has json name %q: wire names must be explicit snake_case so the format cannot drift", structName, name.Name, wireName)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestJSONWire(t *testing.T) {
+	RunAnalyzerTest(t, JSONWire, "example.com/memes/internal/server")
+}

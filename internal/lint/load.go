@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loading strategy: the repository has no dependency on golang.org/x/tools,
+// so packages are loaded with the standard library alone. Type information
+// for imports comes from compiled export data — `go list -export -deps`
+// resolves it from the build cache without network access — and the target
+// package itself is parsed and type-checked from source. The same resolver
+// serves three callers: cmd/memelint standalone mode (export set from go
+// list), cmd/memelint vettool mode (export set handed over by go vet's
+// unit-checker config), and the analysistest harness (export set from go
+// list plus source fallback for testdata fixture packages).
+
+// ExportSet maps canonical import paths to files containing gc export data.
+type ExportSet map[string]string
+
+// ListedPackage is the subset of `go list -json` output the loader needs.
+type ListedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+}
+
+// GoListExports runs `go list -export -deps -json` over the patterns and
+// returns the analysis targets (non-dep packages with Go sources, sorted by
+// import path) plus the export set covering every listed package.
+func GoListExports(dir string, patterns ...string) ([]*ListedPackage, ExportSet, error) {
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Dir,GoFiles,Export,Standard,DepOnly"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, nil, fmt.Errorf("lint: go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	exports := make(ExportSet)
+	var targets []*ListedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p ListedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard && len(p.GoFiles) > 0 {
+			lp := p
+			targets = append(targets, &lp)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	return targets, exports, nil
+}
+
+// Resolver satisfies types.Importer over an export set, with an optional
+// source fallback for packages (testdata fixtures) that have no export
+// data, and an optional import-path rewrite map (the vettool protocol's
+// ImportMap).
+type Resolver struct {
+	fset *token.FileSet
+	gc   types.Importer
+	// srcDir, when non-nil, maps an import path to a directory to
+	// type-check from source; used by the test harness for fixtures.
+	srcDir   func(path string) (string, bool)
+	srcCache map[string]*types.Package
+}
+
+// NewResolver builds a resolver over the export set. importMap rewrites
+// source-level import paths to canonical ones before lookup (pass nil when
+// they coincide); srcDir enables the source fallback (pass nil to disable).
+func NewResolver(fset *token.FileSet, exports ExportSet, importMap map[string]string, srcDir func(path string) (string, bool)) *Resolver {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return &Resolver{
+		fset:     fset,
+		gc:       importer.ForCompiler(fset, "gc", lookup),
+		srcDir:   srcDir,
+		srcCache: make(map[string]*types.Package),
+	}
+}
+
+// Import implements types.Importer.
+func (r *Resolver) Import(path string) (*types.Package, error) {
+	if r.srcDir != nil {
+		if dir, ok := r.srcDir(path); ok {
+			return r.importSource(path, dir)
+		}
+	}
+	return r.gc.Import(path)
+}
+
+// importSource type-checks a fixture package from its directory, caching
+// the result so diamond imports share one *types.Package.
+func (r *Resolver) importSource(path, dir string) (*types.Package, error) {
+	if pkg, ok := r.srcCache[path]; ok {
+		return pkg, nil
+	}
+	files, err := ParseDir(r.fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	cfg := types.Config{Importer: r}
+	pkg, err := cfg.Check(path, r.fset, files, nil)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking fixture %s: %w", path, err)
+	}
+	r.srcCache[path] = pkg
+	return pkg, nil
+}
+
+// ParseDir parses every non-test .go file of a directory in lexical order.
+func ParseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if name := e.Name(); strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") && !e.IsDir() {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return parseFiles(fset, dir, names)
+}
+
+// parseFiles parses the named files (relative to dir when not absolute).
+func parseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// CheckedPackage is a parsed and type-checked package ready for analysis.
+type CheckedPackage struct {
+	Fset  *token.FileSet
+	Path  string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Check parses the named files and type-checks them as the package at the
+// given import path, resolving imports through the resolver.
+func Check(fset *token.FileSet, path, dir string, goFiles []string, r *Resolver) (*CheckedPackage, error) {
+	files, err := parseFiles(fset, dir, goFiles)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	cfg := types.Config{Importer: r}
+	pkg, err := cfg.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	return &CheckedPackage{Fset: fset, Path: path, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// Analyze runs the analyzer suite over one checked package.
+func (cp *CheckedPackage) Analyze(as []*Analyzer) ([]Diagnostic, error) {
+	return Run(as, cp.Fset, cp.Files, cp.Path, cp.Pkg, cp.Info)
+}

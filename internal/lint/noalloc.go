@@ -1,0 +1,232 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoAlloc checks functions annotated //memes:noalloc for constructs that
+// force heap allocations, complementing the runtime AllocsPerRun gate (which
+// proves a particular call pattern is clean) with a static gate (which stops
+// an allocating construct from entering the hot path between benchmark
+// runs). Opt-in via the annotation keeps the check honest: only code that
+// claims the zero-alloc invariant is held to it.
+//
+// Flagged constructs:
+//
+//   - make/new and slice or map composite literals (&T{...} included);
+//   - function literals (closures allocate their environment);
+//   - go statements;
+//   - fmt package calls and string concatenation;
+//   - append whose base slice is not rooted in a parameter, receiver,
+//     struct field, or stack array — i.e. append that cannot reuse
+//     preallocated capacity;
+//   - passing a non-pointer-shaped concrete value where an interface is
+//     expected (boxing).
+//
+// Cold paths (error construction, spill cases) belong in separate
+// unannotated helpers — see phash.medianSpill for the pattern.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "flags alloc-forcing constructs inside functions annotated //memes:noalloc",
+	Run:  runNoAlloc,
+}
+
+func runNoAlloc(pass *Pass) error {
+	enclosingFuncs(pass.Files, func(decl *ast.FuncDecl) {
+		if !funcHasDirective(decl, "noalloc") {
+			return
+		}
+		checkNoAllocFunc(pass, decl)
+	})
+	return nil
+}
+
+func checkNoAllocFunc(pass *Pass, decl *ast.FuncDecl) {
+	// allowedRoots tracks objects whose storage predates the call: params,
+	// the receiver, and locals derived from them (tmp := buf[:n]). Appending
+	// to a slice rooted here can reuse caller/pool-owned capacity.
+	allowedRoots := make(map[types.Object]bool)
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := pass.TypesInfo.ObjectOf(name); obj != nil {
+					allowedRoots[obj] = true
+				}
+			}
+		}
+	}
+	addFields(decl.Recv)
+	addFields(decl.Type.Params)
+
+	// Local arrays are stack storage; slicing them does not allocate. Also
+	// propagate allowance through simple derivations, in source order (one
+	// forward pass is enough for the straight-line scratch set-up these
+	// functions use).
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeclStmt:
+			if gd, ok := n.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok || len(vs.Values) != 0 {
+						continue
+					}
+					for _, name := range vs.Names {
+						obj := pass.TypesInfo.ObjectOf(name)
+						if obj == nil {
+							continue
+						}
+						if _, isArray := obj.Type().Underlying().(*types.Array); isArray {
+							allowedRoots[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE && n.Tok != token.ASSIGN {
+				return true
+			}
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.ObjectOf(id)
+				if obj == nil {
+					continue
+				}
+				if root, rootOK := allocRoot(pass, allowedRoots, n.Rhs[i]); rootOK && root {
+					allowedRoots[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure inside //memes:noalloc function %s allocates its environment; hoist it or drop the annotation", decl.Name.Name)
+			return false // don't double-report constructs inside the closure
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement inside //memes:noalloc function %s allocates a goroutine", decl.Name.Name)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, isComposite := ast.Unparen(n.X).(*ast.CompositeLit); isComposite {
+					pass.Reportf(n.Pos(), "&composite-literal inside //memes:noalloc function %s escapes to the heap", decl.Name.Name)
+				}
+			}
+		case *ast.CompositeLit:
+			switch pass.TypesInfo.TypeOf(n).Underlying().(type) {
+			case *types.Slice, *types.Map:
+				pass.Reportf(n.Pos(), "slice/map literal inside //memes:noalloc function %s allocates; preallocate outside the hot path", decl.Name.Name)
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if t := pass.TypesInfo.TypeOf(n); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						pass.Reportf(n.Pos(), "string concatenation inside //memes:noalloc function %s allocates", decl.Name.Name)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkNoAllocCall(pass, decl, allowedRoots, n)
+		}
+		return true
+	})
+}
+
+// checkNoAllocCall vets one call inside an annotated function.
+func checkNoAllocCall(pass *Pass, decl *ast.FuncDecl, allowedRoots map[types.Object]bool, call *ast.CallExpr) {
+	if isBuiltin(pass, call, "make") || isBuiltin(pass, call, "new") {
+		pass.Reportf(call.Pos(), "%s inside //memes:noalloc function %s allocates; move it to an unannotated cold-path helper", call.Fun.(*ast.Ident).Name, decl.Name.Name)
+		return
+	}
+	if isBuiltin(pass, call, "append") && len(call.Args) > 0 {
+		if root, ok := allocRoot(pass, allowedRoots, call.Args[0]); !ok || !root {
+			pass.Reportf(call.Pos(), "append to a slice not rooted in a parameter, receiver, field, or stack array inside //memes:noalloc function %s: growth cannot reuse preallocated capacity", decl.Name.Name)
+		}
+		return
+	}
+	fn := calleeFunc(pass.TypesInfo, call)
+	if funcPkgPath(fn) == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s inside //memes:noalloc function %s allocates (boxing and formatting); move error/string construction to an unannotated helper", fn.Name(), decl.Name.Name)
+		return
+	}
+	checkBoxing(pass, decl, call)
+}
+
+// allocRoot resolves the base of a slice/index/selector chain. It returns
+// (true, true) when the root is preallocated storage (param, receiver,
+// struct field, stack array, or a local already derived from one), and
+// (false, true) when the root is identifiable but not preallocated. ok is
+// false when the expression has no analyzable root.
+func allocRoot(pass *Pass, allowedRoots map[types.Object]bool, e ast.Expr) (root bool, ok bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.ObjectOf(e)
+		if obj == nil {
+			return false, false
+		}
+		return allowedRoots[obj], true
+	case *ast.SelectorExpr:
+		// A field of any reachable struct is storage that outlives the call.
+		if sel := pass.TypesInfo.Selections[e]; sel != nil && sel.Kind() == types.FieldVal {
+			return true, true
+		}
+		return false, false
+	case *ast.SliceExpr:
+		return allocRoot(pass, allowedRoots, e.X)
+	case *ast.IndexExpr:
+		return allocRoot(pass, allowedRoots, e.X)
+	default:
+		return false, false
+	}
+}
+
+// checkBoxing flags non-pointer-shaped concrete values passed where the
+// callee expects an interface: the conversion boxes the value on the heap.
+// Pointer-shaped kinds (pointers, channels, maps, funcs) box without
+// allocating.
+func checkBoxing(pass *Pass, decl *ast.FuncDecl, call *ast.CallExpr) {
+	sigType := pass.TypesInfo.TypeOf(call.Fun)
+	if sigType == nil {
+		return
+	}
+	sig, ok := sigType.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var paramType types.Type
+		switch {
+		case i < params.Len()-1 || (!sig.Variadic() && i < params.Len()):
+			paramType = params.At(i).Type()
+		case sig.Variadic() && i >= params.Len()-1:
+			if s, isSlice := params.At(params.Len() - 1).Type().(*types.Slice); isSlice {
+				paramType = s.Elem()
+			}
+		}
+		if paramType == nil || !types.IsInterface(paramType) {
+			continue
+		}
+		argType := pass.TypesInfo.TypeOf(arg)
+		if argType == nil || types.IsInterface(argType) {
+			continue
+		}
+		switch argType.Underlying().(type) {
+		case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+			continue
+		}
+		pass.Reportf(arg.Pos(), "passing %s where %s is expected inside //memes:noalloc function %s boxes the value on the heap", argType, paramType, decl.Name.Name)
+	}
+}

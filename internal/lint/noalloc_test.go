@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestNoAlloc(t *testing.T) {
+	RunAnalyzerTest(t, NoAlloc, "example.com/memes/internal/hot")
+}

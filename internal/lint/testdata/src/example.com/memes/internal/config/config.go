@@ -1,0 +1,16 @@
+// Package config is the detorder scope-negative fixture: it is outside the
+// deterministic scopes, so its map-order and clock reads are not reported.
+package config
+
+import "time"
+
+func First(m map[string]int) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}
+
+func Stamp() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,97 @@
+// Package hot is the noalloc fixture: only functions annotated
+// //memes:noalloc are checked, and within them every alloc-forcing construct
+// is reported while preallocated-capacity patterns are not.
+package hot
+
+import "fmt"
+
+type buffer struct {
+	scratch []byte
+}
+
+//memes:noalloc
+func appendField(b *buffer, v byte) {
+	b.scratch = append(b.scratch, v) // ok: field-rooted append reuses capacity
+}
+
+//memes:noalloc
+func appendParam(dst []byte, v byte) []byte {
+	return append(dst, v) // ok: parameter-rooted append
+}
+
+//memes:noalloc
+func stackScratch(vals []int) int {
+	var buf [8]int
+	tmp := buf[:0]
+	for _, v := range vals {
+		tmp = append(tmp, v) // ok: rooted in a stack array
+	}
+	return len(tmp)
+}
+
+//memes:noalloc
+func badAppend(v int) []int {
+	var local []int
+	local = append(local, v) // want "append to a slice not rooted"
+	return local
+}
+
+//memes:noalloc
+func grows(n int) []int {
+	return make([]int, n) // want "make inside //memes:noalloc function grows allocates"
+}
+
+//memes:noalloc
+func news() *int {
+	return new(int) // want "new inside //memes:noalloc function news allocates"
+}
+
+//memes:noalloc
+func formats(err error) string {
+	return fmt.Sprintf("hot: %v", err) // want "fmt.Sprintf inside //memes:noalloc function formats allocates"
+}
+
+//memes:noalloc
+func closes(n int) func() int {
+	return func() int { return n } // want "closure inside //memes:noalloc function closes"
+}
+
+//memes:noalloc
+func spawns(ch chan int) {
+	go send(ch) // want "go statement inside //memes:noalloc function spawns"
+}
+
+func send(ch chan int) { ch <- 1 }
+
+//memes:noalloc
+func concats(a, b string) string {
+	return a + b // want "string concatenation inside //memes:noalloc function concats"
+}
+
+//memes:noalloc
+func literal() []int {
+	return []int{1, 2, 3} // want "slice/map literal inside //memes:noalloc function literal"
+}
+
+type node struct{ v int }
+
+//memes:noalloc
+func escapes(v int) *node {
+	return &node{v: v} // want "&composite-literal inside //memes:noalloc function escapes"
+}
+
+func sink(v any) { _ = v }
+
+//memes:noalloc
+func boxes(v int) {
+	sink(v) // want "boxes the value on the heap"
+}
+
+//memes:noalloc
+func boxesPtr(v *int) {
+	sink(v) // ok: pointer-shaped values box without allocating
+}
+
+func unannotated(n int) []int {
+	return make([]int, n) // ok: not annotated, so not checked
+}

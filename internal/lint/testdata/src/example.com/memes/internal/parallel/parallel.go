@@ -1,0 +1,57 @@
+// Package parallel is a fixture stub of the real worker-pool package. It is
+// out of ctxflow scope, so its naked go statement must not be reported.
+package parallel
+
+import "context"
+
+func For(n, workers int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+func ForCtx(ctx context.Context, n, workers int, fn func(i int)) error {
+	For(n, workers, fn)
+	return ctx.Err()
+}
+
+func Map[R any](n, workers int, fn func(i int) R) []R {
+	out := make([]R, n)
+	For(n, workers, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+func MapCtx[R any](ctx context.Context, n, workers int, fn func(i int) R) ([]R, error) {
+	return Map(n, workers, fn), ctx.Err()
+}
+
+func MapErr(n, workers int, fn func(i int) error) error {
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func MapErrCtx(ctx context.Context, n, workers int, fn func(i int) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return MapErr(n, workers, fn)
+}
+
+func MapChunks[R any](n, workers int, fn func(lo, hi int) []R) []R {
+	return fn(0, n)
+}
+
+func MapChunksCtx[R any](ctx context.Context, n, workers int, fn func(lo, hi int) []R) ([]R, error) {
+	return fn(0, n), ctx.Err()
+}
+
+// run exists to host a naked go statement inside the excluded package.
+func run(fn func()) {
+	done := make(chan struct{})
+	go func() { fn(); close(done) }()
+	<-done
+}

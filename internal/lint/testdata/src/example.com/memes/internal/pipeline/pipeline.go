@@ -1,0 +1,85 @@
+// Package pipeline is the detorder fixture: it sits inside the deterministic
+// scope (suffix internal/pipeline), so map-order and clock/rand dependence
+// must be reported unless provably order-independent or annotated.
+package pipeline
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+func leakOrder(counts map[string]int) []string {
+	var out []string
+	for k, v := range counts { // want "range over map counts"
+		if v > 0 {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func collectAndSort(counts map[string]int) []string {
+	keys := make([]string, 0, len(counts))
+	for k := range counts { // ok: appended slice is sorted after the loop
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func commutative(weights map[int]float64) (float64, int) {
+	var total float64
+	n := 0
+	for _, w := range weights { // ok: accumulation commutes
+		total += w
+		n++
+	}
+	return total, n
+}
+
+func firstKey(m map[int]int) int {
+	for k := range m { // want "range over map m"
+		return k
+	}
+	return 0
+}
+
+func annotated(m map[int]int) int {
+	best := 0
+	//memes:detorder max is order-independent; assignment shape defeats the heuristic
+	for k := range m {
+		if k > best {
+			best = k
+		}
+	}
+	return best
+}
+
+func stamp() time.Time {
+	return time.Now() // want "time.Now in deterministic package"
+}
+
+//memes:nondet timing stats only; never influences output
+func stampOK() (time.Time, time.Duration) {
+	t0 := time.Now()
+	return t0, time.Since(t0)
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since in deterministic package"
+}
+
+func roll() int {
+	return rand.Intn(6) // want "math/rand.Intn in deterministic package"
+}
+
+func syncRange(m *sync.Map) int {
+	n := 0
+	m.Range(func(k, v any) bool { // want "sync.Map.Range in deterministic package"
+		n++
+		return true
+	})
+	return n
+}

@@ -1,0 +1,41 @@
+// Package query is the ctxflow fixture: it is inside ctxflow scope, so bare
+// parallel primitives, naked go statements, and dropped contexts are
+// reported, while threaded contexts, annotated goroutines, and context-free
+// wrappers are not.
+package query
+
+import (
+	"context"
+
+	"example.com/memes/internal/parallel"
+)
+
+func bareMap(n int) []int {
+	return parallel.Map(n, 0, func(i int) int { return i }) // want "parallel.Map spawns uncancellable goroutines"
+}
+
+func bareFor(n int) {
+	parallel.For(n, 0, func(i int) {}) // want "parallel.For spawns uncancellable goroutines"
+}
+
+func nakedGo(ch chan int) {
+	go func() { ch <- 1 }() // want "naked go statement outside internal/parallel"
+}
+
+func ownedGo(ch chan int) {
+	//memes:goroutine joined by the fixture's Close handshake
+	go func() { ch <- 1 }()
+}
+
+func dropsCtx(ctx context.Context, n int) error {
+	return parallel.ForCtx(context.Background(), n, 0, func(i int) {}) // want "context.Background/TODO while the enclosing function has a context parameter"
+}
+
+func threadsCtx(ctx context.Context, n int) error {
+	return parallel.ForCtx(ctx, n, 0, func(i int) {}) // ok: caller's context threaded
+}
+
+func wrapper(n int) error {
+	// ok: context-free wrapper has no context to thread
+	return parallel.ForCtx(context.Background(), n, 0, func(i int) {})
+}

@@ -1,0 +1,36 @@
+// Package server is the jsonwire fixture: structs reaching encoding/json
+// (directly or transitively through fields) must tag every exported field
+// with an explicit snake_case name; structs never serialized are exempt.
+package server
+
+import "encoding/json"
+
+type matchResponse struct {
+	ClusterID int64       `json:"cluster_id"`
+	Medoid    string      `json:"medoid"`
+	Missing   int         // want "field matchResponse.Missing is serialized by encoding/json but has no json tag"
+	BadName   int         `json:"BadName"` // want `field matchResponse.BadName has json name "BadName"`
+	Skipped   int         `json:"-"`
+	Nested    nestedStats `json:"nested"`
+	internal  int
+}
+
+type nestedStats struct {
+	Count int // want "field nestedStats.Count is serialized by encoding/json but has no json tag"
+}
+
+type notWire struct {
+	Plain int // ok: never serialized, tags would promise a wire format that does not exist
+}
+
+func encode(v matchResponse) ([]byte, error) {
+	return json.Marshal(v)
+}
+
+func decode(data []byte) (matchResponse, error) {
+	var v matchResponse
+	err := json.Unmarshal(data, &v)
+	return v, err
+}
+
+var _ = notWire{}

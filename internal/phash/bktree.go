@@ -18,10 +18,31 @@ type BKTree struct {
 	keys int // number of distinct hashes
 }
 
+// bkChild is one edge of the tree: the child subtree rooted at Hamming
+// distance dist from its parent. Children are kept as a slice in insertion
+// order rather than a map: a node has at most 64 distinct child distances,
+// so the linear scan is cache-friendly, and — unlike ranging over a map —
+// traversal order is a pure function of the insert sequence, which keeps
+// Radius result order deterministic (the detorder invariant).
+type bkChild struct {
+	dist int
+	node *bkNode
+}
+
 type bkNode struct {
 	hash     Hash
 	ids      []int64
-	children map[int]*bkNode
+	children []bkChild
+}
+
+// child returns the subtree at distance d, or nil.
+func (n *bkNode) child(d int) *bkNode {
+	for _, c := range n.children {
+		if c.dist == d {
+			return c.node
+		}
+	}
+	return nil
 }
 
 // NewBKTree returns an empty BK-tree.
@@ -51,12 +72,9 @@ func (t *BKTree) Insert(h Hash, id int64) {
 			node.ids = append(node.ids, id)
 			return
 		}
-		if node.children == nil {
-			node.children = make(map[int]*bkNode)
-		}
-		child, ok := node.children[d]
-		if !ok {
-			node.children[d] = &bkNode{hash: h, ids: []int64{id}}
+		child := node.child(d)
+		if child == nil {
+			node.children = append(node.children, bkChild{dist: d, node: &bkNode{hash: h, ids: []int64{id}}})
 			t.keys++
 			return
 		}
@@ -73,7 +91,10 @@ type Match struct {
 }
 
 // Radius returns all stored hashes within Hamming distance radius of q,
-// together with their item IDs. Results are unordered.
+// together with their item IDs. Result order is unspecified by the
+// MedoidIndex contract but is in fact a pure function of the insert
+// sequence: the traversal follows the insertion-ordered child slices, never
+// a map.
 func (t *BKTree) Radius(q Hash, radius int) []Match {
 	if t.root == nil || radius < 0 {
 		return nil
@@ -87,13 +108,10 @@ func (t *BKTree) Radius(q Hash, radius int) []Match {
 		if d <= radius {
 			out = append(out, Match{Hash: node.hash, Distance: d, IDs: node.ids})
 		}
-		if node.children == nil {
-			continue
-		}
 		lo, hi := d-radius, d+radius
-		for cd, child := range node.children {
-			if cd >= lo && cd <= hi {
-				stack = append(stack, child)
+		for _, c := range node.children {
+			if c.dist >= lo && c.dist <= hi {
+				stack = append(stack, c.node)
 			}
 		}
 	}
@@ -120,13 +138,10 @@ func (t *BKTree) Nearest(q Hash) (Match, bool) {
 				return best, true
 			}
 		}
-		if node.children == nil {
-			continue
-		}
 		lo, hi := d-best.Distance, d+best.Distance
-		for cd, child := range node.children {
-			if cd >= lo && cd <= hi {
-				stack = append(stack, child)
+		for _, c := range node.children {
+			if c.dist >= lo && c.dist <= hi {
+				stack = append(stack, c.node)
 			}
 		}
 	}
@@ -146,8 +161,8 @@ func (t *BKTree) Walk(fn func(h Hash, ids []int64) bool) {
 		if !fn(node.hash, node.ids) {
 			return
 		}
-		for _, child := range node.children {
-			stack = append(stack, child)
+		for _, c := range node.children {
+			stack = append(stack, c.node)
 		}
 	}
 }

@@ -14,6 +14,8 @@ import (
 // full transform — while every retained coefficient is produced by exactly
 // the same operations in the same order as dct2D, keeping hashes
 // bit-identical.
+//
+//memes:noalloc
 func dctTopLeft(pix []float64, tmp, out []float64) {
 	n := lowResSize
 	table := dctTable()

@@ -35,6 +35,8 @@ func (hs *hasher) grayBuf(n int) []float64 {
 // hasher's scratch: downsample, pruned DCT, median threshold. The bit layout
 // and every floating-point operation match the pre-pool implementation, so
 // hashes are bit-identical to it.
+//
+//memes:noalloc
 func (hs *hasher) hashGray(pix []float64, w, h int) Hash {
 	small := hs.small[:]
 	resizeBilinearInto(small, pix, w, h, lowResSize, lowResSize)

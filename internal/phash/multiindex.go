@@ -1,9 +1,10 @@
 package phash
 
 import (
-	"runtime"
+	"context"
 	"sort"
-	"sync"
+
+	"github.com/memes-pipeline/memes/internal/parallel"
 )
 
 // MultiIndex implements multi-index hashing (MIH) over 64-bit perceptual
@@ -27,6 +28,7 @@ type MultiIndex struct {
 	tables   []map[uint64][]int32 // per-band: band value -> indexes into items
 	hashes   []Hash
 	ids      []int64
+	workers  int // linear-scan fan-out bound; 0 = GOMAXPROCS (see SetWorkers)
 }
 
 // mihBands is the number of disjoint bands the default multi-index splits
@@ -66,14 +68,37 @@ func (m *MultiIndex) band(h Hash, b int) uint64 {
 	return (uint64(h) >> shift) & mask
 }
 
+// SetWorkers bounds the fan-out of the parallel linear-scan fallback;
+// n <= 0 restores the default (GOMAXPROCS). It satisfies the optional
+// index.WorkerBound interface so the pipeline's single workers knob
+// governs this index too.
+func (m *MultiIndex) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	m.workers = n
+}
+
 // Radius returns all stored entries within Hamming distance radius of q.
-// The search is exact at every radius: banded probing handles radius <=
+// It is RadiusCtx without cancellation.
+func (m *MultiIndex) Radius(q Hash, radius int) []Match {
+	out, _ := m.RadiusCtx(context.Background(), q, radius)
+	return out
+}
+
+// RadiusCtx returns all stored entries within Hamming distance radius of q,
+// honouring ctx cancellation on the parallel linear-scan fallback. The
+// search is exact at every radius: banded probing handles radius <=
 // 3*bands - 1 (i.e. 11 with the default 4 bands, comfortably covering the
 // pipeline's operating threshold of 8), and a parallel linear scan handles
-// anything larger.
-func (m *MultiIndex) Radius(q Hash, radius int) []Match {
+// anything larger. On cancellation the partial result is discarded and
+// ctx.Err() is returned.
+func (m *MultiIndex) RadiusCtx(ctx context.Context, q Hash, radius int) ([]Match, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if radius < 0 || len(m.hashes) == 0 {
-		return nil
+		return nil, nil
 	}
 	// Pigeonhole: if radius errors are spread across bands, at least one
 	// band has at most maxFlips = floor(radius/bands) errors, so probing
@@ -82,7 +107,7 @@ func (m *MultiIndex) Radius(q Hash, radius int) []Match {
 	// beyond two flips per band (radius >= 3*bands) the linear scan wins.
 	maxFlips := radius / m.bands
 	if maxFlips > 2 {
-		return m.linearRadius(q, radius)
+		return m.linearRadius(ctx, q, radius)
 	}
 	seen := make(map[int32]struct{})
 	var out []Match
@@ -115,7 +140,7 @@ func (m *MultiIndex) Radius(q Hash, radius int) []Match {
 			}
 		}
 	}
-	return mergeMatches(out)
+	return mergeMatches(out), nil
 }
 
 // Nearest returns the stored hash closest to q and its distance, with the
@@ -164,48 +189,25 @@ func (m *MultiIndex) Walk(fn func(h Hash, ids []int64) bool) {
 }
 
 // linearRadius performs an exact parallel scan; used for large radii where
-// banded probing is no longer guaranteed exact.
-func (m *MultiIndex) linearRadius(q Hash, radius int) []Match {
-	n := len(m.hashes)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	type part struct{ matches []Match }
-	parts := make([]part, workers)
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				d := Distance(q, m.hashes[i])
-				if d <= radius {
-					parts[w].matches = append(parts[w].matches, Match{
-						Hash: m.hashes[i], Distance: d, IDs: []int64{m.ids[i]},
-					})
-				}
+// banded probing is no longer guaranteed exact. The fan-out runs on the
+// internal/parallel primitives so cancellation never leaks a goroutine.
+func (m *MultiIndex) linearRadius(ctx context.Context, q Hash, radius int) ([]Match, error) {
+	matches, err := parallel.MapChunksCtx(ctx, len(m.hashes), m.workers, func(lo, hi int) []Match {
+		var part []Match
+		for i := lo; i < hi; i++ {
+			d := Distance(q, m.hashes[i])
+			if d <= radius {
+				part = append(part, Match{
+					Hash: m.hashes[i], Distance: d, IDs: []int64{m.ids[i]},
+				})
 			}
-		}(w, lo, hi)
+		}
+		return part
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	var out []Match
-	for _, p := range parts {
-		out = append(out, p.matches...)
-	}
-	return mergeMatches(out)
+	return mergeMatches(matches), nil
 }
 
 // mergeMatches merges matches that share the same hash, concatenating IDs,
@@ -239,41 +241,31 @@ func mergeMatches(in []Match) []Match {
 }
 
 // PairwiseWithin computes, in parallel, all pairs (i, j), i < j, of the given
-// hashes whose Hamming distance is at most radius. It is the drop-in
+// hashes whose Hamming distance is at most radius. It is PairwiseWithinCtx
+// without cancellation, with fan-out bounded by GOMAXPROCS.
+func PairwiseWithin(hashes []Hash, radius int, fn func(i, j, d int)) {
+	_ = PairwiseWithinCtx(context.Background(), hashes, radius, 0, fn)
+}
+
+// PairwiseWithinCtx computes, in parallel, all pairs (i, j), i < j, of the
+// given hashes whose Hamming distance is at most radius. It is the drop-in
 // replacement for the paper's TensorFlow pairwise comparison step and is used
 // by DBSCAN's neighbourhood precomputation. The callback receives the indexes
 // of the pair and their distance; it must be safe for concurrent invocation.
-func PairwiseWithin(hashes []Hash, radius int, fn func(i, j, d int)) {
+// workers bounds the fan-out (0 = GOMAXPROCS). Cancellation stops rows from
+// being scheduled and returns ctx.Err(); rows already dispatched complete.
+func PairwiseWithinCtx(ctx context.Context, hashes []Hash, radius, workers int, fn func(i, j, d int)) error {
 	n := len(hashes)
 	if n < 2 {
-		return
+		return ctx.Err()
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	next := make(chan int, workers)
-	go func() {
-		for i := 0; i < n; i++ {
-			next <- i
-		}
-		close(next)
-	}()
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				hi := hashes[i]
-				for j := i + 1; j < n; j++ {
-					d := Distance(hi, hashes[j])
-					if d <= radius {
-						fn(i, j, d)
-					}
-				}
+	return parallel.ForCtx(ctx, n, workers, func(i int) {
+		hi := hashes[i]
+		for j := i + 1; j < n; j++ {
+			d := Distance(hi, hashes[j])
+			if d <= radius {
+				fn(i, j, d)
 			}
-		}()
-	}
-	wg.Wait()
+		}
+	})
 }

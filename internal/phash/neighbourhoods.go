@@ -1,6 +1,7 @@
 package phash
 
 import (
+	"context"
 	"slices"
 
 	"github.com/memes-pipeline/memes/internal/parallel"
@@ -16,6 +17,14 @@ import (
 var probeCutover = 1 << 16
 
 // Neighbourhoods computes, for every input hash, the indexes of all hashes
+// within the given Hamming radius of it. It is NeighbourhoodsCtx without
+// cancellation.
+func Neighbourhoods(hashes []Hash, radius, workers int) [][]int32 {
+	neigh, _ := NeighbourhoodsCtx(context.Background(), hashes, radius, workers)
+	return neigh
+}
+
+// NeighbourhoodsCtx computes, for every input hash, the indexes of all hashes
 // within the given Hamming radius of it (always including itself, and any
 // duplicates), each list in ascending index order. It is the all-points
 // counterpart of MultiIndex.Radius — the paper's GPU pairwise comparison
@@ -28,11 +37,14 @@ var probeCutover = 1 << 16
 // work the index's exact fallback would do per query, minus the per-query
 // goroutine, dedup-map, and sort overhead. With one worker the kernel
 // exploits symmetry and computes each pair once.
-func Neighbourhoods(hashes []Hash, radius, workers int) [][]int32 {
+//
+// Cancellation stops rows from being scheduled and returns (nil, ctx.Err());
+// no goroutine outlives the call.
+func NeighbourhoodsCtx(ctx context.Context, hashes []Hash, radius, workers int) ([][]int32, error) {
 	n := len(hashes)
 	neigh := make([][]int32, n)
 	if n == 0 || radius < 0 {
-		return neigh
+		return neigh, ctx.Err()
 	}
 	w := parallel.Workers(workers)
 	if w > n {
@@ -44,7 +56,7 @@ func Neighbourhoods(hashes []Hash, radius, workers int) [][]int32 {
 		for i, h := range hashes {
 			m.Insert(h, int64(i))
 		}
-		parallel.For(n, w, func(i int) {
+		if err := parallel.ForCtx(ctx, n, w, func(i int) {
 			matches := m.Radius(hashes[i], radius)
 			count := 0
 			for _, match := range matches {
@@ -58,8 +70,10 @@ func Neighbourhoods(hashes []Hash, radius, workers int) [][]int32 {
 			}
 			slices.Sort(idxs)
 			neigh[i] = idxs
-		})
-		return neigh
+		}); err != nil {
+			return nil, err
+		}
+		return neigh, nil
 	}
 
 	if w <= 1 {
@@ -69,6 +83,9 @@ func Neighbourhoods(hashes []Hash, radius, workers int) [][]int32 {
 		// j > i in ascending order — ascending overall, matching the
 		// parallel kernel bit for bit.
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			neigh[i] = append(neigh[i], int32(i))
 			hi := hashes[i]
 			for j := i + 1; j < n; j++ {
@@ -78,7 +95,7 @@ func Neighbourhoods(hashes []Hash, radius, workers int) [][]int32 {
 				}
 			}
 		}
-		return neigh
+		return neigh, nil
 	}
 
 	// Parallel kernel: contiguous row chunks, each scanning all n columns.
@@ -87,7 +104,7 @@ func Neighbourhoods(hashes []Hash, radius, workers int) [][]int32 {
 	// allocations scale with chunks rather than points.
 	chunk := parallel.ChunkSize(n, w)
 	numChunks := (n + chunk - 1) / chunk
-	parallel.For(numChunks, w, func(c int) {
+	if err := parallel.ForCtx(ctx, numChunks, w, func(c int) {
 		lo := c * chunk
 		hi := lo + chunk
 		if hi > n {
@@ -107,6 +124,8 @@ func Neighbourhoods(hashes []Hash, radius, workers int) [][]int32 {
 			// earlier rows keep pointing into the retired arena.
 			neigh[i] = arena[at:len(arena):len(arena)]
 		}
-	})
-	return neigh
+	}); err != nil {
+		return nil, err
+	}
+	return neigh, nil
 }

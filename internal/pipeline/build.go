@@ -83,7 +83,7 @@ func Build(ctx context.Context, ds *dataset.Dataset, site *annotate.Site, cfg Co
 	}
 	workers := parallel.Workers(cfg.Workers)
 	b.buildStats.Workers = workers
-	start := time.Now()
+	start := now()
 	em := emitter{stats: &b.buildStats, progress: progress}
 
 	var fringe []dataset.Community
@@ -113,7 +113,7 @@ func Build(ctx context.Context, ds *dataset.Dataset, site *annotate.Site, cfg Co
 		}
 	}
 	partials, err := parallel.MapErrCtx(ctx, len(fringe), workers, func(i int) (communityPartial, error) {
-		p, err := clusterCommunity(ds, fringe[i], cfg, dbscanBudget)
+		p, err := clusterCommunity(ctx, ds, fringe[i], cfg, dbscanBudget)
 		if err != nil {
 			return communityPartial{}, fmt.Errorf("pipeline: clustering %v: %w", fringe[i], err)
 		}
@@ -124,12 +124,13 @@ func Build(ctx context.Context, ds *dataset.Dataset, site *annotate.Site, cfg Co
 	}
 	fringeImages, totalClusters := 0, 0
 	for i := range partials {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
 		p := &partials[i]
 		if len(p.hashes) > 0 {
-			p.clusters = cluster.MaterializeParallel(p.hashes, p.counts, p.dbres, workers)
+			clusters, err := cluster.MaterializeParallelCtx(ctx, p.hashes, p.counts, p.dbres, workers)
+			if err != nil {
+				return nil, err
+			}
+			p.clusters = clusters
 			p.summary.Clusters = len(p.clusters)
 		}
 		fringeImages += p.summary.Images
@@ -203,7 +204,7 @@ func Build(ctx context.Context, ds *dataset.Dataset, site *annotate.Site, cfg Co
 	b.buildStats.FringeImages = fringeImages
 	b.buildStats.Clusters = len(b.Clusters)
 	b.buildStats.AnnotatedClusters = annotated
-	b.buildWall = time.Since(start)
+	b.buildWall = since(start)
 	return b, nil
 }
 
@@ -271,6 +272,9 @@ func (b *BuildResult) Associate(ctx context.Context, posts []dataset.Post) ([]As
 			if !p.HasImage {
 				continue
 			}
+			// The chunk fan-out already honours ctx; the per-hash index
+			// probe runs uncancelled so a chunk's associations are all-or-
+			// nothing.
 			if m, ok := b.match(p.PHash()); ok {
 				out = append(out, Association{PostIndex: i, ClusterID: m.ClusterID, Distance: m.Distance})
 			}
@@ -284,13 +288,39 @@ func (b *BuildResult) Associate(ctx context.Context, posts []dataset.Post) ([]As
 // within the association threshold. Goroutine-safe.
 func (b *BuildResult) Match(h phash.Hash) (Match, bool) { return b.match(h) }
 
+// MatchCtx is Match honouring ctx cancellation: index strategies with
+// internal query fan-out (sharded, multi-index) stop early and return
+// ctx.Err(); purely sequential strategies check ctx once on entry.
+// Goroutine-safe.
+func (b *BuildResult) MatchCtx(ctx context.Context, h phash.Hash) (Match, bool, error) {
+	var matches []phash.Match
+	if cq, ok := b.medoids.(index.CtxQuerier); ok {
+		var err error
+		matches, err = cq.RadiusCtx(ctx, h, b.Config.AssociationThreshold)
+		if err != nil {
+			return Match{}, false, err
+		}
+	} else {
+		if err := ctx.Err(); err != nil {
+			return Match{}, false, err
+		}
+		matches = b.medoids.Radius(h, b.Config.AssociationThreshold)
+	}
+	m, ok := pickMatch(matches)
+	return m, ok, nil
+}
+
 // match picks the deterministic winner among the radius matches: the
 // minimum distance, with ties broken by the lowest cluster ID across all
 // matches at that distance, so the index's traversal order never shows
 // through — a hard requirement for every strategy to serve bitwise-equal
 // results.
 func (b *BuildResult) match(h phash.Hash) (Match, bool) {
-	matches := b.medoids.Radius(h, b.Config.AssociationThreshold)
+	return pickMatch(b.medoids.Radius(h, b.Config.AssociationThreshold))
+}
+
+// pickMatch reduces a radius match set to the deterministic winner.
+func pickMatch(matches []phash.Match) (Match, bool) {
 	if len(matches) == 0 {
 		return Match{}, false
 	}
@@ -319,7 +349,7 @@ func (b *BuildResult) Result(ctx context.Context) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	start := time.Now()
+	start := now()
 	res := &Result{
 		Config:       b.Config,
 		Dataset:      b.Dataset,
@@ -345,7 +375,7 @@ func (b *BuildResult) Result(ctx context.Context) (*Result, error) {
 	res.Associations = assoc
 	em.done(StageAssociate, stageStart, imagePosts)
 
-	res.Stats.Total = b.buildWall + time.Since(start)
+	res.Stats.Total = b.buildWall + since(start)
 	res.Stats.TotalImages = imagePosts
 	res.Stats.Associations = len(assoc)
 	return res, nil

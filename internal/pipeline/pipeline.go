@@ -251,7 +251,7 @@ func RunContext(ctx context.Context, ds *dataset.Dataset, site *annotate.Site, c
 // happens afterwards in Run, one community at a time. workers is the
 // neighbourhood-scan budget for this community's DBSCAN; an explicit
 // cfg.Clustering.Workers takes precedence.
-func clusterCommunity(ds *dataset.Dataset, comm dataset.Community, cfg Config, workers int) (communityPartial, error) {
+func clusterCommunity(ctx context.Context, ds *dataset.Dataset, comm dataset.Community, cfg Config, workers int) (communityPartial, error) {
 	// Distinct hashes and their occurrence counts within this community.
 	var hashes []phash.Hash
 	var counts []int
@@ -281,7 +281,7 @@ func clusterCommunity(ds *dataset.Dataset, comm dataset.Community, cfg Config, w
 	if cc.Workers == 0 {
 		cc.Workers = workers
 	}
-	dbres, err := cluster.DBSCAN(hashes, counts, cc)
+	dbres, err := cluster.DBSCANCtx(ctx, hashes, counts, cc)
 	if err != nil {
 		return communityPartial{}, err
 	}
@@ -295,10 +295,17 @@ func clusterCommunity(ds *dataset.Dataset, comm dataset.Community, cfg Config, w
 }
 
 // HashImages is the Step 1 helper for callers that hold raw images rather
-// than a generated dataset: it hashes every image concurrently and returns
-// the hashes in input order. Nil images produce an error.
+// than a generated dataset. It is HashImagesCtx without cancellation.
 func HashImages(images []image.Image, workers int) ([]phash.Hash, error) {
-	return parallel.MapErr(len(images), workers, func(i int) (phash.Hash, error) {
+	return HashImagesCtx(context.Background(), images, workers)
+}
+
+// HashImagesCtx is the Step 1 helper for callers that hold raw images rather
+// than a generated dataset: it hashes every image concurrently and returns
+// the hashes in input order, honouring ctx cancellation. Nil images produce
+// an error.
+func HashImagesCtx(ctx context.Context, images []image.Image, workers int) ([]phash.Hash, error) {
+	return parallel.MapErrCtx(ctx, len(images), workers, func(i int) (phash.Hash, error) {
 		h, err := phash.FromImage(images[i])
 		if err != nil {
 			return 0, fmt.Errorf("pipeline: hashing image %d: %w", i, err)

@@ -8,7 +8,6 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
-	"time"
 
 	"github.com/memes-pipeline/memes/internal/annotate"
 	"github.com/memes-pipeline/memes/internal/cluster"
@@ -140,7 +139,7 @@ func LoadBuild(r io.Reader, site *annotate.Site, ds *dataset.Dataset, reconfig f
 	if site == nil {
 		return nil, errors.New("pipeline: nil annotation site")
 	}
-	start := time.Now()
+	start := now()
 
 	br := bufio.NewReader(r)
 	var header [12]byte
@@ -317,7 +316,7 @@ func LoadBuild(r io.Reader, site *annotate.Site, ds *dataset.Dataset, reconfig f
 	b.buildStats.FringeImages = fringeImages
 	b.buildStats.Clusters = len(b.Clusters)
 	b.buildStats.AnnotatedClusters = annotated
-	b.buildWall = time.Since(start)
+	b.buildWall = since(start)
 	return b, nil
 }
 

@@ -30,6 +30,13 @@ type batcher struct {
 	stats    *counters
 	stop     chan struct{}
 	done     chan struct{}
+
+	// Dispatcher-owned scratch, reused across batches so the steady state
+	// allocates nothing per batch (the noalloc invariant on run/flush).
+	// Only the dispatcher goroutine touches these.
+	batch []*matchReq
+	posts []memes.Post
+	outs  []matchOut
 }
 
 // matchReq is one queued lookup; resp is buffered so the dispatcher never
@@ -59,7 +66,11 @@ func newBatcher(hot *memes.HotEngine, maxBatch int, stats *counters) *batcher {
 		stats:    stats,
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
+		batch:    make([]*matchReq, 0, maxBatch),
+		posts:    make([]memes.Post, 0, maxBatch),
+		outs:     make([]matchOut, 0, maxBatch),
 	}
+	//memes:goroutine dispatcher owned by Close: stop/done handshake joins it
 	go b.run()
 	return b
 }
@@ -101,6 +112,11 @@ func (b *batcher) Close() {
 	<-b.done
 }
 
+// run is the dispatcher loop. Its steady state — drain, flush, repeat —
+// reuses the batcher's preallocated scratch slices, so serving traffic does
+// not allocate per batch.
+//
+//memes:noalloc
 func (b *batcher) run() {
 	defer close(b.done)
 	for {
@@ -108,48 +124,53 @@ func (b *batcher) run() {
 		case <-b.stop:
 			return
 		case first := <-b.reqs:
-			batch := []*matchReq{first}
+			b.batch = append(b.batch[:0], first)
 		drain:
-			for len(batch) < b.maxBatch {
+			for len(b.batch) < b.maxBatch {
 				select {
 				case r := <-b.reqs:
-					batch = append(batch, r)
+					b.batch = append(b.batch, r)
 				default:
 					break drain
 				}
 			}
-			b.flush(batch)
+			b.flush()
 		}
 	}
 }
 
-// flush answers one coalesced batch with a single Associate fan-out against
-// one pinned engine generation. Associate and Match share the same winner
-// selection (nearest annotated medoid, ties to the lowest cluster ID), so a
-// batched lookup is bitwise-identical to a direct Engine.Match.
-func (b *batcher) flush(batch []*matchReq) {
+// flush answers the coalesced batch in b.batch with a single Associate
+// fan-out against one pinned engine generation. Associate and Match share
+// the same winner selection (nearest annotated medoid, ties to the lowest
+// cluster ID), so a batched lookup is bitwise-identical to a direct
+// Engine.Match. The post and response buffers live on the batcher and are
+// recycled across flushes; responses are copied into the per-request reply
+// channels before the next flush reuses them.
+//
+//memes:noalloc
+func (b *batcher) flush() {
 	eng, gen := b.hot.Pin()
-	posts := make([]memes.Post, len(batch))
-	for i, req := range batch {
-		posts[i] = memes.Post{HasImage: true, Hash: uint64(req.hash)}
+	b.posts = b.posts[:0]
+	for _, req := range b.batch {
+		b.posts = append(b.posts, memes.Post{HasImage: true, Hash: uint64(req.hash)})
 	}
-	assocs, err := eng.Associate(context.Background(), posts)
+	assocs, err := eng.Associate(context.Background(), b.posts)
 	if err != nil {
-		for _, req := range batch {
+		for _, req := range b.batch {
 			req.resp <- matchOut{err: err}
 		}
 		return
 	}
-	b.stats.observeBatch(len(batch))
-	outs := make([]matchOut, len(batch))
-	for i := range outs {
-		outs[i] = matchOut{eng: eng, gen: gen}
+	b.stats.observeBatch(len(b.batch))
+	b.outs = b.outs[:0]
+	for range b.batch {
+		b.outs = append(b.outs, matchOut{eng: eng, gen: gen})
 	}
 	for _, a := range assocs {
-		outs[a.PostIndex].m = memes.Match{ClusterID: a.ClusterID, Distance: a.Distance}
-		outs[a.PostIndex].ok = true
+		b.outs[a.PostIndex].m = memes.Match{ClusterID: a.ClusterID, Distance: a.Distance}
+		b.outs[a.PostIndex].ok = true
 	}
-	for i, req := range batch {
-		req.resp <- outs[i]
+	for i, req := range b.batch {
+		req.resp <- b.outs[i]
 	}
 }
