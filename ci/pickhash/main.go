@@ -1,0 +1,79 @@
+// Command pickhash prepares a corpus for the streaming-ingest smoke test.
+//
+// The synthetic corpus draws every post hash directly from a KYM entry's
+// variant gallery, so no naturally occurring hash is both novel (far from
+// every resident cluster) and annotatable (near a KYM entry) — the two
+// properties the ingest scenario needs at once. pickhash manufactures one:
+// it finds a hash at Hamming distance > 16 from every image-post hash and
+// every gallery hash in the corpus, appends a synthetic KYM entry whose
+// gallery is exactly that hash, saves the corpus back in place, and prints
+// the hash in decimal (the posts.jsonl wire form).
+//
+// Posts carrying the printed hash ingested into a memeserve built from the
+// mutated corpus form a fresh cluster that annotates against the planted
+// entry — servable only after an ingest-triggered re-cluster, never by
+// matching a resident medoid.
+//
+// Usage:
+//
+//	pickhash -in ./corpus
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/memes-pipeline/memes/internal/dataset"
+	"github.com/memes-pipeline/memes/internal/phash"
+)
+
+func main() {
+	in := flag.String("in", "corpus", "corpus directory (written by memegen) to mutate in place")
+	flag.Parse()
+
+	ds, err := dataset.Load(*in)
+	if err != nil {
+		log.Fatalf("pickhash: loading corpus: %v", err)
+	}
+	var existing []phash.Hash
+	for i := range ds.Posts {
+		if ds.Posts[i].HasImage {
+			existing = append(existing, ds.Posts[i].PHash())
+		}
+	}
+	for _, e := range ds.KYMEntries {
+		for _, g := range e.Gallery {
+			existing = append(existing, phash.Hash(g))
+		}
+	}
+
+	// Deterministic golden-ratio walk over the hash space: the same corpus
+	// always yields the same planted hash.
+	for k := uint64(1); k < 1<<20; k++ {
+		h := phash.Hash(k * 0x9E3779B97F4A7C15)
+		far := true
+		for _, x := range existing {
+			if phash.Distance(h, x) <= 16 {
+				far = false
+				break
+			}
+		}
+		if !far {
+			continue
+		}
+		ds.KYMEntries = append(ds.KYMEntries, dataset.KYMEntry{
+			Name:            "synthetic-novel-meme",
+			Title:           "Synthetic Novel Meme",
+			Category:        "memes",
+			Gallery:         []uint64{uint64(h)},
+			ScreenshotFlags: []bool{false},
+		})
+		if err := ds.Save(*in); err != nil {
+			log.Fatalf("pickhash: saving corpus: %v", err)
+		}
+		fmt.Println(uint64(h))
+		return
+	}
+	log.Fatal("pickhash: no hash is far from the whole corpus")
+}

@@ -4,7 +4,14 @@
 # on it, and prove the full query path over HTTP — healthz, a single-hash
 # /v1/match, a full-corpus /v1/associate asserted against the memepipeline
 # -format json summary, a hot reload via the admin endpoint and via SIGHUP,
+# streaming ingest (POST /v1/ingest absorbs novel posts, re-clusters, and
+# serves them without a restart; the delta journal replays them across one),
 # and a graceful SIGTERM shutdown.
+#
+# ci/pickhash plants a synthetic KYM entry into the corpus before the build:
+# the generated corpus draws post hashes from entry galleries, so only a
+# planted entry gives the ingest scenario a hash that is both novel to the
+# resident clusters and annotatable after a re-cluster.
 #
 # Requires: go, curl, jq. Association request bodies are assembled from
 # posts.jsonl with paste (never re-encoded by jq), so 64-bit pHash integers
@@ -29,10 +36,14 @@ step() { echo "== $*"; }
 
 step "building binaries"
 mkdir -p "$workdir/bin"
-go build -o "$workdir/bin/" ./cmd/memegen ./cmd/memepipeline ./cmd/memeserve
+go build -o "$workdir/bin/" ./cmd/memegen ./cmd/memepipeline ./cmd/memeserve ./ci/pickhash
 
 step "generating corpus"
 "$workdir/bin/memegen" -out "$workdir/corpus" -profile small >/dev/null
+
+step "planting a novel annotatable hash for the ingest scenario"
+novel_hash=$("$workdir/bin/pickhash" -in "$workdir/corpus")
+[ -n "$novel_hash" ] || { echo "FAIL: pickhash printed no hash"; exit 1; }
 
 step "building engine, saving snapshot, capturing the reference summary"
 "$workdir/bin/memepipeline" -in "$workdir/corpus" -save "$workdir/engine.snap" \
@@ -42,7 +53,8 @@ expected_assoc=$(jq -r '.associations' "$workdir/pipeline.json")
 
 addr=127.0.0.1:18080
 step "booting memeserve on $addr"
-"$workdir/bin/memeserve" -addr "$addr" -load "$workdir/engine.snap" -in "$workdir/corpus" &
+"$workdir/bin/memeserve" -addr "$addr" -load "$workdir/engine.snap" -in "$workdir/corpus" \
+  -ingest-threshold 5 -delta-dir "$workdir/deltas" &
 server_pid=$!
 
 step "waiting for /v1/healthz"
@@ -108,6 +120,72 @@ step "statsz sanity"
 curl -fsS "http://$addr/v1/statsz" >"$workdir/stats.json"
 jq -e '.requests.errors == 0 and .reloads == 2 and .requests.associate == 2' "$workdir/stats.json" >/dev/null
 
+step "streaming ingest: novel hash is unmatched before ingest"
+printf '{"hash":%s}' "$novel_hash" >"$workdir/novel_match_req.json"
+curl -fsS -X POST --data-binary @"$workdir/novel_match_req.json" \
+  "http://$addr/v1/match" >"$workdir/novel_before.json"
+jq -e '.matched == false' "$workdir/novel_before.json" >/dev/null
+
+step "POST /v1/ingest: 5 novel posts cross the re-cluster threshold"
+# Bodies are assembled with printf, same as the associate path: the 64-bit
+# decimal pHash must never pass through jq's float arithmetic.
+posts=""
+for i in 0 1 2 3 4; do
+  posts="$posts{\"id\":$((9000000 + i)),\"community\":0,\"timestamp\":\"2026-01-01T00:00:00Z\",\"has_image\":true,\"phash\":$novel_hash,\"truth_meme\":-1,\"truth_root\":-1},"
+done
+printf '{"posts":[%s]}' "${posts%,}" >"$workdir/ingest_req.json"
+curl -fsS -X POST --data-binary @"$workdir/ingest_req.json" \
+  "http://$addr/v1/ingest" >"$workdir/ingest.json"
+jq -e '.accepted == 5 and .assigned == 0 and .pending == 5 and .triggered == true' \
+  "$workdir/ingest.json" >/dev/null
+
+step "ingested hash becomes servable without a restart"
+matched=""
+for _ in $(seq 1 150); do
+  curl -fsS -X POST --data-binary @"$workdir/novel_match_req.json" \
+    "http://$addr/v1/match" >"$workdir/novel_after.json"
+  if jq -e '.matched == true and .entry == "synthetic-novel-meme"' \
+    "$workdir/novel_after.json" >/dev/null; then
+    matched=1
+    break
+  fi
+  sleep 0.2
+done
+[ -n "$matched" ] || { echo "FAIL: ingested hash never became matchable"; exit 1; }
+
+step "statsz ingest counters moved"
+curl -fsS "http://$addr/v1/statsz" >"$workdir/stats_ingest.json"
+jq -e '.ingest.enabled == true and .ingest.ingested == 5 and .ingest.reclusters >= 1
+       and .ingest.pending == 0 and .ingest.seq == 5
+       and .requests.ingest == 1 and .requests.errors == 0' \
+  "$workdir/stats_ingest.json" >/dev/null
+
+step "restart: the delta journal replays the ingested posts"
+kill -TERM "$server_pid"
+if ! wait "$server_pid"; then
+  echo "FAIL: memeserve exited non-zero on SIGTERM before restart"
+  exit 1
+fi
+server_pid=""
+"$workdir/bin/memeserve" -addr "$addr" -load "$workdir/engine.snap" -in "$workdir/corpus" \
+  -ingest-threshold 5 -delta-dir "$workdir/deltas" &
+server_pid=$!
+up=""
+for _ in $(seq 1 150); do
+  if curl -fsS "http://$addr/v1/healthz" >/dev/null 2>&1; then
+    up=1
+    break
+  fi
+  kill -0 "$server_pid" 2>/dev/null || { echo "FAIL: restarted memeserve exited before becoming healthy"; exit 1; }
+  sleep 0.2
+done
+[ -n "$up" ] || { echo "FAIL: restarted memeserve never came up"; exit 1; }
+curl -fsS -X POST --data-binary @"$workdir/novel_match_req.json" \
+  "http://$addr/v1/match" >"$workdir/novel_replayed.json"
+jq -e '.matched == true and .entry == "synthetic-novel-meme"' "$workdir/novel_replayed.json" >/dev/null
+curl -fsS "http://$addr/v1/statsz" >"$workdir/stats_replayed.json"
+jq -e '.ingest.enabled == true and .ingest.seq == 5' "$workdir/stats_replayed.json" >/dev/null
+
 step "graceful shutdown on SIGTERM"
 kill -TERM "$server_pid"
 if ! wait "$server_pid"; then
@@ -116,4 +194,4 @@ if ! wait "$server_pid"; then
 fi
 server_pid=""
 
-echo "SMOKE PASSED: healthz, match, associate ($expected_assoc associations), 2 hot reloads, graceful shutdown"
+echo "SMOKE PASSED: healthz, match, associate ($expected_assoc associations), 2 hot reloads, ingest + journal replay, graceful shutdown"

@@ -1,8 +1,9 @@
 // Command memebench executes the repo's named performance benchmark set —
 // the build path (BenchmarkPipelineRun), the clustering phase
 // (BenchmarkDBSCAN), the serve path per index strategy
-// (BenchmarkEngineAssociate), and Step 1 hashing
-// (BenchmarkPhashExtraction) — and writes one BENCH_<label>.json document
+// (BenchmarkEngineAssociate), Step 1 hashing (BenchmarkPhashExtraction),
+// and the streaming ingest fast path (Ingest, posts/sec through
+// Ingestor.Ingest) — and writes one BENCH_<label>.json document
 // with ns/op, allocs/op, and the custom throughput metrics of each, using
 // the same machine-readable conventions as the CLIs' -format json stats.
 // The emitted file is one point of the repo's performance trajectory: CI
@@ -105,6 +106,7 @@ func main() {
 		run("EngineAssociate/"+string(strategy), func(b *testing.B) { st.benchEngineAssociate(b, strategy) })
 	}
 	run("PhashExtraction", func(b *testing.B) { benchPhashExtraction(b) })
+	run("Ingest", func(b *testing.B) { st.benchIngest(b) })
 
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -241,6 +243,38 @@ func (st *benchState) benchEngineAssociate(b *testing.B, strategy memes.IndexStr
 	b.StopTimer()
 	if secs := b.Elapsed().Seconds(); secs > 0 {
 		b.ReportMetric(float64(imagePosts)*float64(b.N)/secs, "images_per_sec")
+	}
+}
+
+// benchIngest measures the streaming-ingest fast path: every post in the
+// corpus is fed through Ingestor.Ingest against a resident engine, so the
+// rate is dominated by the probe-and-assign step (posts matching annotated
+// medoids are servable immediately). The threshold is set out of reach so
+// no background re-cluster runs inside the timed loop, and the journal is
+// disabled — this is the pure in-memory absorption rate.
+func (st *benchState) benchIngest(b *testing.B) {
+	ctx := context.Background()
+	eng, err := memes.NewEngine(ctx, st.ds, st.site)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hot := memes.NewHotEngine(eng)
+	g, err := memes.NewIngestor(hot, st.ds, st.site, memes.IngestConfig{Threshold: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer g.Close()
+	batch := st.ds.Posts
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Ingest(ctx, batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(len(batch))*float64(b.N)/secs, "posts_per_sec")
 	}
 }
 

@@ -10,6 +10,7 @@
 //
 //	memeserve -load engine.snap -in ./corpus [-addr :8080] [-index bktree|multiindex|sharded]
 //	          [-workers N] [-max-batch 256] [-drain 10s]
+//	          [-ingest-threshold N] [-delta-dir ./deltas]
 //
 // -in names the corpus directory (written by memegen) whose annotation site
 // the snapshot's entries are resolved against — the same site the build
@@ -21,8 +22,17 @@
 // and signalling the process. SIGTERM/SIGINT drain connections gracefully
 // (bounded by -drain) before exiting.
 //
-// API: POST /v1/associate, /v1/match, /v1/match/image; GET /v1/healthz,
-// /v1/statsz, /v1/clusters; POST /v1/admin/reload — see internal/server.
+// -ingest-threshold N (N > 0) enables streaming ingest: POST /v1/ingest
+// absorbs new posts at runtime, re-clustering incrementally once N pending
+// posts accumulate and hot-swapping the fresh engine in. With -delta-dir,
+// accepted batches are journaled as MEMEDELT delta snapshots and compacted
+// into base snapshots in the background; on boot, memeserve prefers the
+// newest compacted base over -load and replays the journal tail, so
+// ingested posts survive a restart.
+//
+// API: POST /v1/associate, /v1/match, /v1/match/image, /v1/ingest; GET
+// /v1/healthz, /v1/statsz, /v1/clusters; POST /v1/admin/reload — see
+// internal/server.
 package main
 
 import (
@@ -48,6 +58,8 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool bound for query fan-out (0 = GOMAXPROCS)")
 	maxBatch := flag.Int("max-batch", server.DefaultMaxBatch, "max concurrent /v1/match lookups coalesced into one fan-out")
 	drain := flag.Duration("drain", 10*time.Second, "connection-draining timeout on SIGTERM")
+	ingestThreshold := flag.Int("ingest-threshold", 0, "pending posts that trigger an incremental re-cluster; 0 disables POST /v1/ingest")
+	deltaDir := flag.String("delta-dir", "", "delta-journal directory for ingest persistence (empty = in-memory only)")
 	flag.Parse()
 	if *load == "" {
 		log.Fatal("memeserve: -load is required (build a snapshot with memepipeline -save)")
@@ -65,8 +77,24 @@ func main() {
 		log.Fatalf("memeserve: building annotation site: %v", err)
 	}
 
+	// With a delta journal on disk, the newest compacted base snapshot is a
+	// later state of the same corpus than -load: boot from it and replay
+	// only the journal tail beyond its fold point.
+	snapPath := *load
+	var baseSeq uint64
+	if *ingestThreshold > 0 && *deltaDir != "" {
+		path, seq, ok, err := memes.LatestDeltaBase(*deltaDir)
+		if err != nil {
+			log.Fatalf("memeserve: scanning delta dir: %v", err)
+		}
+		if ok {
+			snapPath, baseSeq = path, seq
+			log.Printf("memeserve: booting from compacted base %s (seq %d)", path, seq)
+		}
+	}
+
 	loader := func() (*memes.Engine, error) {
-		f, err := os.Open(*load)
+		f, err := os.Open(snapPath)
 		if err != nil {
 			return nil, err
 		}
@@ -78,13 +106,34 @@ func main() {
 		return memes.LoadEngine(f, site, opts...)
 	}
 
-	srv, err := server.New(server.Config{Loader: loader, MaxBatch: *maxBatch})
+	cfg := server.Config{Loader: loader, MaxBatch: *maxBatch}
+	if *ingestThreshold > 0 {
+		cfg.Ingest = func(hot *memes.HotEngine) (*memes.Ingestor, error) {
+			return memes.NewIngestor(hot, ds, site, memes.IngestConfig{
+				Threshold: *ingestThreshold,
+				DeltaDir:  *deltaDir,
+			})
+		}
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		log.Fatalf("memeserve: %v", err)
 	}
 	defer srv.Close()
+	if g := srv.Ingestor(); g != nil {
+		n, err := g.Replay(context.Background(), baseSeq)
+		if err != nil {
+			log.Fatalf("memeserve: replaying delta journal: %v", err)
+		}
+		if *deltaDir != "" {
+			log.Printf("memeserve: streaming ingest enabled (threshold %d): replayed %d journaled posts from %s",
+				*ingestThreshold, n, *deltaDir)
+		} else {
+			log.Printf("memeserve: streaming ingest enabled (threshold %d, journal disabled)", *ingestThreshold)
+		}
+	}
 	eng := srv.Engine()
-	log.Printf("memeserve: loaded %s (%d clusters) — serving on %s", *load, len(eng.Clusters()), *addr)
+	log.Printf("memeserve: loaded %s (%d clusters) — serving on %s", snapPath, len(eng.Clusters()), *addr)
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

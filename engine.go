@@ -67,7 +67,8 @@ type Option func(*engineConfig)
 type engineConfig struct {
 	cfg      PipelineConfig
 	progress ProgressFunc
-	ds       *Dataset // LoadEngine only: dataset bound for Result materialisation
+	ds       *Dataset    // LoadEngine only: dataset bound for Result materialisation
+	deltas   []io.Reader // LoadEngine only: delta journals replayed over the base
 }
 
 // WithConfig replaces the engine's entire pipeline configuration. It is
@@ -127,6 +128,21 @@ func WithDataset(ds *Dataset) Option {
 	return func(o *engineConfig) { o.ds = ds }
 }
 
+// WithDeltas layers streaming-ingest delta journals over a loaded base
+// snapshot: every frame of every reader is read, spliced into one
+// contiguous post stream (tolerating the overlaps a crashed compaction
+// leaves behind), and absorbed through the same incremental re-cluster path
+// a live Ingestor uses. The resulting engine is bitwise-identical to a
+// from-scratch build over the bound dataset plus the delta posts in journal
+// order.
+//
+// Applies to LoadEngine only and requires WithDataset (the base corpus the
+// snapshot was built from — the deltas extend it). The snapshot supplies
+// the configuration echo; an empty journal loads the snapshot as-is.
+func WithDeltas(rs ...io.Reader) Option {
+	return func(o *engineConfig) { o.deltas = append(o.deltas, rs...) }
+}
+
 // WithProgress registers an observer for per-stage progress events. The
 // function is called synchronously, in stage order, from the goroutine
 // driving the stage; it must not block for long.
@@ -145,6 +161,9 @@ func NewEngine(ctx context.Context, ds *Dataset, site *AnnotationSite, opts ...O
 	}
 	if ec.ds != nil {
 		return nil, errors.New("memes: WithDataset applies only to LoadEngine; NewEngine receives its dataset positionally")
+	}
+	if len(ec.deltas) > 0 {
+		return nil, errors.New("memes: WithDeltas applies only to LoadEngine; NewEngine builds from its dataset directly")
 	}
 	b, err := pipeline.Build(ctx, ds, site, ec.cfg, ec.progress)
 	if err != nil {
@@ -193,7 +212,42 @@ func LoadEngine(r io.Reader, site *AnnotationSite, opts ...Option) (*Engine, err
 	if err != nil {
 		return nil, err
 	}
+	if len(ec.deltas) > 0 {
+		b, err = replayDeltas(b, site, ec)
+		if err != nil {
+			return nil, err
+		}
+	}
 	return &Engine{build: b}, nil
+}
+
+// replayDeltas folds delta journals into a freshly loaded base build; see
+// WithDeltas.
+func replayDeltas(b *pipeline.BuildResult, site *AnnotationSite, ec engineConfig) (*pipeline.BuildResult, error) {
+	if ec.ds == nil {
+		return nil, errors.New("memes: WithDeltas requires WithDataset (the base corpus the deltas extend)")
+	}
+	var frames []pipeline.Delta
+	for _, r := range ec.deltas {
+		fs, err := pipeline.ReadDeltas(r)
+		if err != nil {
+			return nil, err
+		}
+		frames = append(frames, fs...)
+	}
+	posts, _, err := pipeline.SpliceDeltas(frames, 0)
+	if err != nil {
+		return nil, err
+	}
+	if len(posts) == 0 {
+		return b, nil
+	}
+	inc, err := pipeline.NewIncremental(ec.ds, site, b.Config)
+	if err != nil {
+		return nil, err
+	}
+	inc.AddPosts(posts)
+	return inc.RebuildCtx(context.Background(), ec.progress)
 }
 
 // Associate runs Step 6 over an arbitrary batch of posts: every image post

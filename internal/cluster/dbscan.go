@@ -171,6 +171,16 @@ func DBSCANCtx(ctx context.Context, hashes []phash.Hash, counts []int, cfg DBSCA
 	// Phase two: deterministic serial expansion over the cached
 	// neighbourhoods — the same breadth-first traversal, in the same order,
 	// as the historical implementation that re-queried the index per visit.
+	expand(neigh, weights, cfg.MinPts, &res)
+	return res, nil
+}
+
+// expand is DBSCAN's phase two: the deterministic serial breadth-first
+// expansion over cached eps-neighbourhoods, filling res.Labels (which must
+// have len(neigh) entries), res.NumClusters and res.NoiseCount. It is shared
+// by DBSCANCtx and Incremental.ReclusterCtx so the batch and streaming paths
+// produce bitwise-identical labels by construction.
+func expand(neigh [][]int32, weights []int, minPts int, res *Result) {
 	const unvisited = -2
 	labels := res.Labels
 	for i := range labels {
@@ -178,11 +188,11 @@ func DBSCANCtx(ctx context.Context, hashes []phash.Hash, counts []int, cfg DBSCA
 	}
 	var queue []int32
 	clusterID := 0
-	for i := 0; i < n; i++ {
+	for i := 0; i < len(labels); i++ {
 		if labels[i] != unvisited {
 			continue
 		}
-		if weights[i] < cfg.MinPts {
+		if weights[i] < minPts {
 			labels[i] = Noise
 			continue
 		}
@@ -198,7 +208,7 @@ func DBSCANCtx(ctx context.Context, hashes []phash.Hash, counts []int, cfg DBSCA
 				continue
 			}
 			labels[j] = clusterID
-			if weights[j] >= cfg.MinPts {
+			if weights[j] >= minPts {
 				queue = append(queue, neigh[j]...)
 			}
 		}
@@ -206,12 +216,12 @@ func DBSCANCtx(ctx context.Context, hashes []phash.Hash, counts []int, cfg DBSCA
 	}
 
 	res.NumClusters = clusterID
+	res.NoiseCount = 0
 	for _, lbl := range labels {
 		if lbl == Noise {
 			res.NoiseCount++
 		}
 	}
-	return res, nil
 }
 
 // Medoid returns the index (into members) of the medoid of a cluster: the

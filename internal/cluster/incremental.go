@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"context"
+
+	"github.com/memes-pipeline/memes/internal/parallel"
+	"github.com/memes-pipeline/memes/internal/phash"
+)
+
+// Incremental carries DBSCAN's phase-one state — the distinct hashes, their
+// occurrence counts, and their cached eps-neighbourhood lists — across
+// re-clustering rounds, so absorbing a batch of new points costs one scan of
+// the new points against the resident set instead of a full O(n²) rebuild.
+//
+// Points are registered with Add in occurrence order; the first appearance
+// of a hash defines its index, exactly mirroring the distinct-hash
+// extraction a batch run performs over the same occurrence sequence. Each
+// ReclusterCtx brings the cached neighbourhoods up to date and runs the same
+// serial expansion as DBSCANCtx, so for any split of the input into Add
+// batches the labels are bitwise-identical to a single batch run over the
+// union.
+type Incremental struct {
+	cfg    DBSCANConfig
+	hashes []phash.Hash
+	counts []int
+	pos    map[phash.Hash]int32
+	// neigh caches the eps-neighbourhood of every point in [0, primed);
+	// points added since the last recluster have no list yet.
+	neigh  [][]int32
+	primed int
+}
+
+// NewIncremental returns an empty incremental clustering state.
+func NewIncremental(cfg DBSCANConfig) (*Incremental, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Incremental{cfg: cfg, pos: make(map[phash.Hash]int32)}, nil
+}
+
+// Add registers one occurrence of h. A previously seen hash only bumps its
+// occurrence count (density changes are picked up by the next recluster); a
+// new hash is appended, its neighbourhood deferred until ReclusterCtx.
+func (s *Incremental) Add(h phash.Hash) {
+	if at, ok := s.pos[h]; ok {
+		s.counts[at]++
+		return
+	}
+	s.pos[h] = int32(len(s.hashes))
+	s.hashes = append(s.hashes, h)
+	s.counts = append(s.counts, 1)
+}
+
+// Len returns the number of distinct hashes registered.
+func (s *Incremental) Len() int { return len(s.hashes) }
+
+// Points returns the live hash and occurrence-count slices, indexed by point.
+// The slices are owned by the state and must not be mutated; they grow on
+// Add, so callers must not retain them across calls.
+func (s *Incremental) Points() ([]phash.Hash, []int) { return s.hashes, s.counts }
+
+// ReclusterCtx extends the cached neighbourhoods with every point added
+// since the previous call — each new point is scanned against the resident
+// set plus the new batch, never resident-resident pairs again — and runs the
+// serial expansion over the merged lists. The Result is bitwise-identical to
+// DBSCANCtx over the same hashes and counts. Neighbourhood stats cover only
+// the points scanned by this call.
+func (s *Incremental) ReclusterCtx(ctx context.Context) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := len(s.hashes)
+	res := Result{Labels: make([]int, n)}
+	if n == 0 {
+		return res, ctx.Err()
+	}
+	phaseStart := now()
+	scanned := n - s.primed
+	if err := s.extendNeighbourhoods(ctx); err != nil {
+		return Result{}, err
+	}
+	// Weights are recomputed from scratch every round: a count bump on a
+	// resident hash changes the weight of every point holding it in its
+	// neighbourhood, and rescanning is cheaper than tracking inverted lists.
+	weights := make([]int, n)
+	if err := parallel.ForCtx(ctx, n, s.cfg.Workers, func(i int) {
+		total := 0
+		for _, j := range s.neigh[i] {
+			total += s.counts[j]
+		}
+		weights[i] = total
+	}); err != nil {
+		return Result{}, err
+	}
+	res.Neighbourhoods = NeighbourhoodStats{Duration: since(phaseStart), Points: scanned}
+	expand(s.neigh, weights, s.cfg.MinPts, &res)
+	return res, nil
+}
+
+// extendNeighbourhoods merges the points in [primed, n) into the cached
+// lists. The merged lists are equal to what a fresh NeighbourhoodsCtx over
+// all n hashes would return: resident rows are extended in ascending new
+// index order (every appended index exceeds every resident one, so rows stay
+// sorted), and each new row is the concatenation of its resident hits and
+// its offset in-batch hits, both already ascending.
+func (s *Incremental) extendNeighbourhoods(ctx context.Context) error {
+	n := len(s.hashes)
+	if s.primed == n {
+		return ctx.Err()
+	}
+	if s.primed == 0 {
+		neigh, err := phash.NeighbourhoodsCtx(ctx, s.hashes, s.cfg.Eps, s.cfg.Workers)
+		if err != nil {
+			return err
+		}
+		s.neigh = neigh
+		s.primed = n
+		return nil
+	}
+	resident, fresh := s.hashes[:s.primed], s.hashes[s.primed:]
+	cross, err := phash.CrossNeighbourhoodsCtx(ctx, resident, fresh, s.cfg.Eps, s.cfg.Workers)
+	if err != nil {
+		return err
+	}
+	among, err := phash.NeighbourhoodsCtx(ctx, fresh, s.cfg.Eps, s.cfg.Workers)
+	if err != nil {
+		return err
+	}
+	off := int32(s.primed)
+	for i := range fresh {
+		row := make([]int32, 0, len(cross[i])+len(among[i]))
+		row = append(row, cross[i]...)
+		for _, j := range among[i] {
+			row = append(row, off+j)
+		}
+		s.neigh = append(s.neigh, row)
+		for _, j := range cross[i] {
+			// Safe to append in place: NeighbourhoodsCtx's parallel kernel
+			// hands out capacity-capped arena sub-slices (append copies),
+			// and rows from the serial kernels never share backing arrays.
+			s.neigh[j] = append(s.neigh[j], off+int32(i))
+		}
+	}
+	s.primed = n
+	return nil
+}

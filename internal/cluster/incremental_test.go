@@ -1,0 +1,196 @@
+package cluster
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/memes-pipeline/memes/internal/phash"
+)
+
+// occurrenceStream flattens hashes+counts into the occurrence sequence a
+// streaming caller would feed Add, preserving first-appearance order.
+func occurrenceStream(hashes []phash.Hash, counts []int) []phash.Hash {
+	var out []phash.Hash
+	for i, h := range hashes {
+		c := 1
+		if counts != nil {
+			c = counts[i]
+		}
+		for k := 0; k < c; k++ {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// distinct replays a hash occurrence stream into the distinct-hash +
+// occurrence-count form DBSCANCtx takes.
+func distinct(stream []phash.Hash) ([]phash.Hash, []int) {
+	pos := make(map[phash.Hash]int)
+	var hashes []phash.Hash
+	var counts []int
+	for _, h := range stream {
+		if at, ok := pos[h]; ok {
+			counts[at]++
+			continue
+		}
+		pos[h] = len(hashes)
+		hashes = append(hashes, h)
+		counts = append(counts, 1)
+	}
+	return hashes, counts
+}
+
+// TestIncrementalMatchesBatch pins the core determinism invariant: for any
+// split of an occurrence stream into Add batches, with a recluster after
+// each batch, every intermediate Result is bitwise-identical to a batch
+// DBSCANCtx over the prefix — across worker counts, with duplicates in the
+// stream exercising the count-bump path.
+func TestIncrementalMatchesBatch(t *testing.T) {
+	base, counts := makeClusteredHashes(77, 5, 40, 5, 30)
+	// Mix duplicates in: repeat a third of the hashes 1-3 extra times.
+	rng := rand.New(rand.NewSource(7))
+	for i := range counts {
+		counts[i] = 1
+		if rng.Intn(3) == 0 {
+			counts[i] += 1 + rng.Intn(3)
+		}
+	}
+	stream := occurrenceStream(base, counts)
+
+	for _, workers := range []int{1, 8} {
+		cfg := DBSCANConfig{Eps: 8, MinPts: 5, Workers: workers}
+		inc, err := NewIncremental(cfg)
+		if err != nil {
+			t.Fatalf("NewIncremental: %v", err)
+		}
+		// Uneven batch sizes, including a batch that is pure duplicates of
+		// already-registered hashes (no new points, only weight changes).
+		cuts := []int{0, 1, len(stream) / 3, len(stream) / 3, len(stream) * 2 / 3, len(stream)}
+		for b := 1; b < len(cuts); b++ {
+			for _, h := range stream[cuts[b-1]:cuts[b]] {
+				inc.Add(h)
+			}
+			got, err := inc.ReclusterCtx(context.Background())
+			if err != nil {
+				t.Fatalf("workers=%d batch=%d: ReclusterCtx: %v", workers, b, err)
+			}
+			prefixHashes, prefixCounts := distinct(stream[:cuts[b]])
+			want, err := DBSCANCtx(context.Background(), prefixHashes, prefixCounts, cfg)
+			if err != nil {
+				t.Fatalf("workers=%d batch=%d: DBSCANCtx: %v", workers, b, err)
+			}
+			if !reflect.DeepEqual(got.Labels, want.Labels) {
+				t.Fatalf("workers=%d batch=%d: labels diverge from batch run", workers, b)
+			}
+			if got.NumClusters != want.NumClusters || got.NoiseCount != want.NoiseCount {
+				t.Fatalf("workers=%d batch=%d: got %d clusters/%d noise, want %d/%d",
+					workers, b, got.NumClusters, got.NoiseCount, want.NumClusters, want.NoiseCount)
+			}
+		}
+	}
+}
+
+// TestIncrementalSingleBatchMatchesBatch covers the lazy-init path: the
+// first recluster over everything at once must equal DBSCANCtx exactly.
+func TestIncrementalSingleBatchMatchesBatch(t *testing.T) {
+	stream, _ := makeClusteredHashes(13, 4, 30, 5, 20)
+	cfg := DBSCANConfig{Eps: 8, MinPts: 5}
+	inc, err := NewIncremental(cfg)
+	if err != nil {
+		t.Fatalf("NewIncremental: %v", err)
+	}
+	for _, h := range stream {
+		inc.Add(h)
+	}
+	got, err := inc.ReclusterCtx(context.Background())
+	if err != nil {
+		t.Fatalf("ReclusterCtx: %v", err)
+	}
+	// The stream may repeat hash values; Add folds repeats into counts, so
+	// the batch oracle runs over the same distinct-hash form.
+	hashes, counts := distinct(stream)
+	want, err := DBSCANCtx(context.Background(), hashes, counts, cfg)
+	if err != nil {
+		t.Fatalf("DBSCANCtx: %v", err)
+	}
+	if !reflect.DeepEqual(got.Labels, want.Labels) {
+		t.Fatal("single-batch incremental labels diverge from batch run")
+	}
+}
+
+// TestIncrementalDuplicatesCanPromote pins that count bumps alone (no new
+// hashes) can turn noise into a cluster on the next recluster.
+func TestIncrementalDuplicatesCanPromote(t *testing.T) {
+	cfg := DBSCANConfig{Eps: 2, MinPts: 5}
+	inc, err := NewIncremental(cfg)
+	if err != nil {
+		t.Fatalf("NewIncremental: %v", err)
+	}
+	h := phash.Hash(0xdeadbeefcafef00d)
+	inc.Add(h)
+	res, err := inc.ReclusterCtx(context.Background())
+	if err != nil {
+		t.Fatalf("ReclusterCtx: %v", err)
+	}
+	if res.NumClusters != 0 || res.NoiseCount != 1 {
+		t.Fatalf("lone occurrence should be noise, got %+v", res)
+	}
+	for i := 0; i < 4; i++ {
+		inc.Add(h)
+	}
+	res, err = inc.ReclusterCtx(context.Background())
+	if err != nil {
+		t.Fatalf("ReclusterCtx after bumps: %v", err)
+	}
+	if res.NumClusters != 1 || res.NoiseCount != 0 || res.Labels[0] != 0 {
+		t.Fatalf("5 occurrences should form a cluster, got %+v", res)
+	}
+}
+
+// TestIncrementalEmpty pins the zero-point edge cases.
+func TestIncrementalEmpty(t *testing.T) {
+	inc, err := NewIncremental(DefaultDBSCANConfig())
+	if err != nil {
+		t.Fatalf("NewIncremental: %v", err)
+	}
+	res, err := inc.ReclusterCtx(context.Background())
+	if err != nil {
+		t.Fatalf("empty ReclusterCtx: %v", err)
+	}
+	if len(res.Labels) != 0 || res.NumClusters != 0 {
+		t.Fatalf("empty state should yield empty result, got %+v", res)
+	}
+	if inc.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", inc.Len())
+	}
+}
+
+// TestIncrementalRejectsBadConfig mirrors DBSCAN's config validation.
+func TestIncrementalRejectsBadConfig(t *testing.T) {
+	if _, err := NewIncremental(DBSCANConfig{Eps: -1, MinPts: 5}); err == nil {
+		t.Fatal("negative eps should be rejected")
+	}
+	if _, err := NewIncremental(DBSCANConfig{Eps: 8, MinPts: 0}); err == nil {
+		t.Fatal("zero minPts should be rejected")
+	}
+}
+
+// TestIncrementalCancellation proves a cancelled context aborts the scan.
+func TestIncrementalCancellation(t *testing.T) {
+	hashes, _ := makeClusteredHashes(5, 3, 50, 5, 10)
+	inc, err := NewIncremental(DBSCANConfig{Eps: 8, MinPts: 5, Workers: 4})
+	if err != nil {
+		t.Fatalf("NewIncremental: %v", err)
+	}
+	for _, h := range hashes {
+		inc.Add(h)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := inc.ReclusterCtx(ctx); err == nil {
+		t.Fatal("cancelled recluster should fail")
+	}
+}

@@ -1,0 +1,648 @@
+// Package ingest absorbs new posts into a running serving process: the
+// streaming counterpart of the offline build, and the operational shape of
+// the paper's regime — communities keep posting while the annotated-cluster
+// artifact is rebuilt on a schedule, so a serving fleet must fold fresh
+// posts in without a restart and without dropping a request.
+//
+// An Ingestor accepts post batches at runtime. Posts whose hash already
+// matches an annotated medoid (within the association threshold) are
+// servable immediately — the engine matches by hash, so nothing needs to
+// change for them. Posts that do not match park in a bounded pending pool;
+// when the pool crosses a threshold, a background re-cluster absorbs the
+// whole pool into the incremental pipeline state, re-clusters only the
+// affected communities, and publishes the fresh engine through the caller's
+// hot-swap hook. Every accepted batch is journaled as a MEMEDELT frame
+// before it is acknowledged, so a restart replays the journal and converges
+// on the exact same state; a periodic compaction folds the journal into a
+// base MEMESNAP plus one merged head frame.
+//
+// The determinism contract of the pipeline carries through: after any
+// sequence of ingests, re-clusters, restarts, and compactions, the served
+// engine is bitwise-identical (snapshot bytes) to a from-scratch build over
+// the base corpus plus every ingested post in ingest order.
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"github.com/memes-pipeline/memes/internal/dataset"
+	"github.com/memes-pipeline/memes/internal/phash"
+	"github.com/memes-pipeline/memes/internal/pipeline"
+)
+
+// ErrPoolFull rejects an ingest batch that would overflow the pending pool:
+// the backpressure signal that re-clustering is not keeping up. The batch is
+// not journaled and not absorbed; callers retry after the pool drains.
+var ErrPoolFull = errors.New("ingest: pending pool full")
+
+// ErrClosed rejects ingests after Close.
+var ErrClosed = errors.New("ingest: ingestor closed")
+
+// Config parameterises an Ingestor. Match and Publish are the two hooks into
+// the serving layer; everything else has a usable default.
+type Config struct {
+	// Threshold is the number of pooled posts that need a re-cluster to
+	// become servable (unmatched fringe image posts) that triggers the
+	// background re-cluster. Default 256.
+	Threshold int
+	// MaxPending bounds the pool of accepted-but-unabsorbed posts; ingests
+	// beyond it fail with ErrPoolFull. Default 8×Threshold.
+	MaxPending int
+	// CompactAfter is the number of sealed journal segments that triggers a
+	// compaction after the next successful re-cluster. Default 8.
+	CompactAfter int
+	// DeltaDir is the journal directory; empty disables persistence (posts
+	// survive re-clusters but not restarts).
+	DeltaDir string
+	// Match probes a hash against the currently served engine; ok means the
+	// post is servable without a re-cluster.
+	Match func(ctx context.Context, h phash.Hash) (ok bool, err error)
+	// Publish swaps a freshly assembled build into the serving path. It is
+	// called from the re-cluster goroutine and must not block for long.
+	Publish func(*pipeline.BuildResult)
+}
+
+// withDefaults returns the config with zero fields defaulted.
+func (c Config) withDefaults() Config {
+	if c.Threshold <= 0 {
+		c.Threshold = 256
+	}
+	if c.MaxPending <= 0 {
+		c.MaxPending = 8 * c.Threshold
+	}
+	if c.CompactAfter <= 0 {
+		c.CompactAfter = 8
+	}
+	return c
+}
+
+// Receipt acknowledges one accepted ingest batch.
+type Receipt struct {
+	// Accepted is the number of posts absorbed into the pool (the whole
+	// batch — acceptance is all-or-nothing).
+	Accepted int
+	// Assigned counts the batch's image posts already matching an annotated
+	// medoid: servable immediately, no re-cluster needed.
+	Assigned int
+	// Pending is the pool's unmatched-fringe-image count after this batch —
+	// the re-cluster trigger level.
+	Pending int
+	// Triggered reports whether this batch started (or found running) the
+	// background re-cluster.
+	Triggered bool
+	// Seq is the journal position after this batch: total posts accepted
+	// since the base corpus.
+	Seq uint64
+}
+
+// Stats is a point-in-time snapshot of the ingestor's counters.
+type Stats struct {
+	Ingested          int64
+	Assigned          int64
+	Rejected          int64
+	Pending           int
+	Pool              int
+	Reclusters        int64
+	ReclusterFailures int64
+	Compactions       int64
+	DeltaSegments     int
+	Seq               uint64
+}
+
+// Ingestor absorbs posts at runtime; see the package comment. Construct with
+// New; all methods are goroutine-safe.
+type Ingestor struct {
+	cfg Config
+
+	// reclusterMu serialises everything that touches inc or the sealed part
+	// of the journal: re-clusters, compaction, and replay.
+	reclusterMu sync.Mutex
+	inc         *pipeline.Incremental
+
+	mu       sync.Mutex // guards everything below
+	pool     []dataset.Post
+	pending  int // pool posts needing a re-cluster to be servable
+	seq      uint64
+	seg      *os.File // active journal segment, lazily opened
+	segs     int      // journal segment files on disk
+	closed   bool
+	inFlight bool // background re-cluster goroutine running
+	needs    bool // absorbed posts await a successful rebuild (retry flag)
+	wg       sync.WaitGroup
+
+	ingested          int64
+	assigned          int64
+	rejected          int64
+	reclusters        int64
+	reclusterFailures int64
+	compactions       int64
+}
+
+// New wraps an incremental pipeline state in an Ingestor. The state must be
+// seeded from the same corpus and configuration as the engine Publish swaps
+// against, or the determinism contract is void.
+func New(inc *pipeline.Incremental, cfg Config) (*Ingestor, error) {
+	if inc == nil {
+		return nil, errors.New("ingest: nil incremental state")
+	}
+	if cfg.Match == nil || cfg.Publish == nil {
+		return nil, errors.New("ingest: Config.Match and Config.Publish are required")
+	}
+	cfg = cfg.withDefaults()
+	if cfg.DeltaDir != "" {
+		if err := os.MkdirAll(cfg.DeltaDir, 0o755); err != nil {
+			return nil, fmt.Errorf("ingest: creating delta dir: %w", err)
+		}
+	}
+	g := &Ingestor{cfg: cfg, inc: inc}
+	g.seq = uint64(inc.Added())
+	return g, nil
+}
+
+// Ingest accepts a batch of posts. Acceptance is all-or-nothing: the batch
+// is validated, probed against the served engine, journaled (when a delta
+// dir is configured), and only then pooled — so an acknowledged batch is
+// durable and will be folded into the next re-cluster. Image posts already
+// matching an annotated medoid count as Assigned and are servable without
+// waiting; the rest raise the pending level, and crossing the threshold
+// starts the background re-cluster.
+func (g *Ingestor) Ingest(ctx context.Context, posts []dataset.Post) (Receipt, error) {
+	if len(posts) == 0 {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return Receipt{Pending: g.pending, Seq: g.seq}, nil
+	}
+	for i := range posts {
+		if !posts[i].Community.Valid() {
+			return Receipt{}, fmt.Errorf("ingest: post %d names invalid community %d", i, int(posts[i].Community))
+		}
+	}
+
+	// Probe the served engine outside the lock: matches are servable as-is
+	// and do not raise the re-cluster pressure.
+	assigned := 0
+	needy := 0
+	for i := range posts {
+		p := &posts[i]
+		if !p.HasImage {
+			continue
+		}
+		ok, err := g.cfg.Match(ctx, p.PHash())
+		if err != nil {
+			return Receipt{}, err
+		}
+		if ok {
+			assigned++
+		} else if p.Community.Fringe() {
+			// Only fringe image posts can form new clusters; the rest join
+			// the union corpus but never need a re-cluster.
+			needy++
+		}
+	}
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return Receipt{}, ErrClosed
+	}
+	if len(g.pool)+len(posts) > g.cfg.MaxPending {
+		g.rejected += int64(len(posts))
+		return Receipt{}, ErrPoolFull
+	}
+	if err := g.journalLocked(posts); err != nil {
+		g.rejected += int64(len(posts))
+		return Receipt{}, err
+	}
+	g.seq += uint64(len(posts))
+	g.pool = append(g.pool, posts...)
+	g.pending += needy
+	g.ingested += int64(len(posts))
+	g.assigned += int64(assigned)
+
+	triggered := false
+	if g.pending >= g.cfg.Threshold {
+		triggered = true
+		g.scheduleLocked()
+	}
+	return Receipt{
+		Accepted:  len(posts),
+		Assigned:  assigned,
+		Pending:   g.pending,
+		Triggered: triggered,
+		Seq:       g.seq,
+	}, nil
+}
+
+// journalLocked appends one MEMEDELT frame for the batch to the active
+// journal segment, opening a fresh segment (named by its starting sequence)
+// when none is active. Persistence disabled → no-op.
+func (g *Ingestor) journalLocked(posts []dataset.Post) error {
+	if g.cfg.DeltaDir == "" {
+		return nil
+	}
+	if g.seg == nil {
+		name := filepath.Join(g.cfg.DeltaDir, fmt.Sprintf("delta-%016d.dlt", g.seq))
+		f, err := os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+		if err != nil {
+			return fmt.Errorf("ingest: opening journal segment: %w", err)
+		}
+		g.seg = f
+		g.segs++
+	}
+	d := pipeline.Delta{FromSeq: g.seq, Posts: posts}
+	if err := pipeline.SaveDelta(g.seg, &d); err != nil {
+		return fmt.Errorf("ingest: journaling batch: %w", err)
+	}
+	if err := g.seg.Sync(); err != nil {
+		return fmt.Errorf("ingest: syncing journal: %w", err)
+	}
+	return nil
+}
+
+// scheduleLocked starts the background re-cluster goroutine unless one is
+// already running. Called with g.mu held.
+func (g *Ingestor) scheduleLocked() {
+	if g.inFlight {
+		return
+	}
+	g.inFlight = true
+	g.wg.Add(1)
+	//memes:goroutine owned by the Ingestor: joined by Close via wg, exits when the pool drains or a rebuild fails
+	go g.reclusterLoop()
+}
+
+// reclusterLoop drains the pool until the pending level falls below the
+// threshold, then parks. A rebuild failure also parks the loop (the needs
+// flag makes the next trigger retry).
+func (g *Ingestor) reclusterLoop() {
+	defer g.wg.Done()
+	for {
+		err := g.Recluster(context.Background())
+		g.mu.Lock()
+		if err != nil || g.closed || (g.pending < g.cfg.Threshold && !g.needs) {
+			g.inFlight = false
+			g.mu.Unlock()
+			return
+		}
+		g.mu.Unlock()
+	}
+}
+
+// Recluster synchronously absorbs the whole pool into the incremental
+// pipeline state, re-clusters the affected communities, and publishes the
+// resulting build. The active journal segment is sealed first, so the
+// journal's sealed prefix always corresponds to what the published engine
+// has folded. A no-op when the pool is empty and no retry is owed. After a
+// successful publish, a compaction runs when enough sealed segments piled
+// up. Serialised with Replay and with itself.
+func (g *Ingestor) Recluster(ctx context.Context) error {
+	g.reclusterMu.Lock()
+	defer g.reclusterMu.Unlock()
+
+	g.mu.Lock()
+	batch := g.pool
+	g.pool = nil
+	g.pending = 0
+	retry := g.needs
+	g.needs = false
+	if g.seg != nil {
+		g.seg.Close()
+		g.seg = nil
+	}
+	sealed := g.segs
+	g.mu.Unlock()
+
+	if len(batch) == 0 && !retry {
+		return nil
+	}
+	g.inc.AddPosts(batch)
+	folded := uint64(g.inc.Added())
+	b, err := g.inc.RebuildCtx(ctx, nil)
+	if err != nil {
+		// The posts are absorbed (inc is consistent); flag a retry so the
+		// next trigger rebuilds even with an empty pool.
+		g.mu.Lock()
+		g.reclusterFailures++
+		g.needs = true
+		g.mu.Unlock()
+		return err
+	}
+	g.cfg.Publish(b)
+	g.mu.Lock()
+	g.reclusters++
+	g.mu.Unlock()
+
+	if g.cfg.DeltaDir != "" && sealed >= g.cfg.CompactAfter {
+		if err := g.compact(ctx, b, folded); err != nil {
+			return fmt.Errorf("ingest: compacting journal: %w", err)
+		}
+	}
+	return nil
+}
+
+// compact folds the journal: a from-scratch build over the union corpus is
+// cross-checked bitwise against the just-published incremental build (the
+// determinism invariant, enforced at the moment it matters), written as a
+// base MEMESNAP named by the folded sequence, and every sealed segment below
+// that sequence is merged into a single head frame. Crash-safe at every
+// step: new files land via rename, and a crash between the merge and the
+// old-segment cleanup leaves overlaps SpliceDeltas tolerates.
+func (g *Ingestor) compact(ctx context.Context, cur *pipeline.BuildResult, folded uint64) error {
+	ref, err := pipeline.Build(ctx, cur.Dataset, cur.Site, cur.Config, nil)
+	if err != nil {
+		return err
+	}
+	var curBuf, refBuf bytes.Buffer
+	if err := cur.Save(&curBuf); err != nil {
+		return err
+	}
+	if err := ref.Save(&refBuf); err != nil {
+		return err
+	}
+	if !bytes.Equal(curBuf.Bytes(), refBuf.Bytes()) {
+		return fmt.Errorf("determinism self-check failed: incremental state diverges from a from-scratch build at seq %d", folded)
+	}
+
+	// Base snapshot first: replay with the old base plus the full journal
+	// stays correct if anything after this fails.
+	if err := writeFileAtomic(filepath.Join(g.cfg.DeltaDir, fmt.Sprintf("base-%016d.snap", folded)), curBuf.Bytes()); err != nil {
+		return err
+	}
+
+	// Merge every sealed segment below the folded sequence into one frame.
+	names, err := journalSegments(g.cfg.DeltaDir)
+	if err != nil {
+		return err
+	}
+	var frames []pipeline.Delta
+	var merged []string
+	for _, name := range names {
+		start, ok := parseSeq(name, "delta-", ".dlt")
+		if !ok || start >= folded {
+			continue
+		}
+		fs, err := readSegment(filepath.Join(g.cfg.DeltaDir, name))
+		if err != nil {
+			return err
+		}
+		frames = append(frames, fs...)
+		merged = append(merged, name)
+	}
+	posts, covered, err := pipeline.SpliceDeltas(frames, 0)
+	if err != nil {
+		return err
+	}
+	if covered != folded {
+		return fmt.Errorf("journal covers seq %d, published state folds %d", covered, folded)
+	}
+	var head bytes.Buffer
+	if err := pipeline.SaveDelta(&head, &pipeline.Delta{FromSeq: 0, Posts: posts}); err != nil {
+		return err
+	}
+	headName := fmt.Sprintf("delta-%016d.dlt", 0)
+	if err := writeFileAtomic(filepath.Join(g.cfg.DeltaDir, headName), head.Bytes()); err != nil {
+		return err
+	}
+
+	// Cleanup: stale segments, then stale bases. Failures here only leave
+	// harmless extra files behind, but are still reported.
+	removed := 0
+	for _, name := range merged {
+		if name == headName {
+			continue
+		}
+		if err := os.Remove(filepath.Join(g.cfg.DeltaDir, name)); err != nil {
+			return err
+		}
+		removed++
+	}
+	if err := g.removeStaleBases(folded); err != nil {
+		return err
+	}
+
+	g.mu.Lock()
+	g.compactions++
+	g.segs -= removed
+	if !containsName(merged, headName) {
+		g.segs++ // first compaction creates the head segment
+	}
+	g.mu.Unlock()
+	return nil
+}
+
+// removeStaleBases deletes every base snapshot older than the one named by
+// keep.
+func (g *Ingestor) removeStaleBases(keep uint64) error {
+	entries, err := os.ReadDir(g.cfg.DeltaDir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if seq, ok := parseSeq(e.Name(), "base-", ".snap"); ok && seq != keep {
+			if err := os.Remove(filepath.Join(g.cfg.DeltaDir, e.Name())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Replay reads the whole journal and absorbs it into the incremental state:
+// the restart path. folded is the sequence already baked into the engine the
+// process booted from (LatestBase's sequence, or 0 for a plain base build);
+// when the journal covers more than that, a rebuild is published so serving
+// catches up before Replay returns. Returns the number of replayed posts.
+func (g *Ingestor) Replay(ctx context.Context, folded uint64) (int, error) {
+	if g.cfg.DeltaDir == "" {
+		return 0, nil
+	}
+	g.reclusterMu.Lock()
+	defer g.reclusterMu.Unlock()
+
+	names, err := journalSegments(g.cfg.DeltaDir)
+	if err != nil {
+		return 0, err
+	}
+	var frames []pipeline.Delta
+	for _, name := range names {
+		fs, err := readSegment(filepath.Join(g.cfg.DeltaDir, name))
+		if err != nil {
+			return 0, fmt.Errorf("ingest: replaying %s: %w", name, err)
+		}
+		frames = append(frames, fs...)
+	}
+	posts, covered, err := pipeline.SpliceDeltas(frames, 0)
+	if err != nil {
+		return 0, fmt.Errorf("ingest: replaying journal: %w", err)
+	}
+	if covered < folded {
+		return 0, fmt.Errorf("ingest: journal covers seq %d but the loaded base folds %d", covered, folded)
+	}
+	g.inc.AddPosts(posts)
+	if covered > folded {
+		b, err := g.inc.RebuildCtx(ctx, nil)
+		if err != nil {
+			return 0, err
+		}
+		g.cfg.Publish(b)
+		g.mu.Lock()
+		g.reclusters++
+		g.mu.Unlock()
+	}
+	g.mu.Lock()
+	g.seq = covered
+	g.segs = len(names)
+	g.ingested += int64(len(posts))
+	g.mu.Unlock()
+	return len(posts), nil
+}
+
+// Stats snapshots the counters.
+func (g *Ingestor) Stats() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return Stats{
+		Ingested:          g.ingested,
+		Assigned:          g.assigned,
+		Rejected:          g.rejected,
+		Pending:           g.pending,
+		Pool:              len(g.pool),
+		Reclusters:        g.reclusters,
+		ReclusterFailures: g.reclusterFailures,
+		Compactions:       g.compactions,
+		DeltaSegments:     g.segs,
+		Seq:               g.seq,
+	}
+}
+
+// Close stops accepting ingests, waits for the background re-cluster to
+// park, and seals the journal. Posts still pooled are journaled already, so
+// nothing acknowledged is lost — the next Replay folds them in.
+func (g *Ingestor) Close() error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil
+	}
+	g.closed = true
+	g.mu.Unlock()
+	g.wg.Wait()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.seg != nil {
+		err := g.seg.Close()
+		g.seg = nil
+		return err
+	}
+	return nil
+}
+
+// LatestBase locates the newest compacted base snapshot in a delta
+// directory. ok is false when the directory holds none (or does not exist) —
+// boot from the original corpus and Replay from sequence 0.
+func LatestBase(dir string) (path string, seq uint64, ok bool, err error) {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return "", 0, false, nil
+	}
+	if err != nil {
+		return "", 0, false, err
+	}
+	for _, e := range entries {
+		if s, isBase := parseSeq(e.Name(), "base-", ".snap"); isBase && (!ok || s > seq) {
+			path, seq, ok = filepath.Join(dir, e.Name()), s, true
+		}
+	}
+	return path, seq, ok, nil
+}
+
+// --- journal helpers ---------------------------------------------------------
+
+// journalSegments lists the segment files of a delta dir in ascending
+// sequence order (ReadDir sorts by name; the zero-padded names make that the
+// numeric order).
+func journalSegments(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if _, ok := parseSeq(e.Name(), "delta-", ".dlt"); ok {
+			out = append(out, e.Name())
+		}
+	}
+	return out, nil
+}
+
+// readSegment reads every frame of one segment file.
+func readSegment(path string) ([]pipeline.Delta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return pipeline.ReadDeltas(f)
+}
+
+// parseSeq extracts the zero-padded sequence from a journal file name.
+func parseSeq(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	digits := strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix)
+	if len(digits) != 16 {
+		return 0, false
+	}
+	var seq uint64
+	for _, c := range digits {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		seq = seq*10 + uint64(c-'0')
+	}
+	return seq, true
+}
+
+// containsName reports whether names contains name.
+func containsName(names []string, name string) bool {
+	for _, n := range names {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// writeFileAtomic writes data to path via a temp file and rename, so readers
+// never observe a partial file and a crash leaves either the old content or
+// the new.
+func writeFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -1,0 +1,400 @@
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/memes-pipeline/memes/internal/annotate"
+	"github.com/memes-pipeline/memes/internal/dataset"
+	"github.com/memes-pipeline/memes/internal/phash"
+	"github.com/memes-pipeline/memes/internal/pipeline"
+)
+
+// carve generates a corpus and splits off the tail as live ingest traffic.
+func carve(t *testing.T, live int) (*dataset.Dataset, *dataset.Dataset, []dataset.Post, *annotate.Site) {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.SmallConfig())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if len(ds.Posts) <= live {
+		t.Fatalf("corpus too small: %d posts", len(ds.Posts))
+	}
+	site, err := ds.Site(true)
+	if err != nil {
+		t.Fatalf("Site: %v", err)
+	}
+	cut := len(ds.Posts) - live
+	base := *ds
+	base.Posts = ds.Posts[:cut:cut]
+	return ds, &base, ds.Posts[cut:], site
+}
+
+// harness builds the base engine, publishes it into an atomic slot, and
+// wires an Ingestor's Match/Publish hooks to that slot — the in-process
+// stand-in for HotEngine.Swap.
+func harness(t *testing.T, base *dataset.Dataset, site *annotate.Site, cfg Config) (*Ingestor, *atomic.Pointer[pipeline.BuildResult], pipeline.Config) {
+	t.Helper()
+	pcfg := pipeline.DefaultConfig()
+	b, err := pipeline.Build(context.Background(), base, site, pcfg, nil)
+	if err != nil {
+		t.Fatalf("base Build: %v", err)
+	}
+	var cur atomic.Pointer[pipeline.BuildResult]
+	cur.Store(b)
+	cfg.Match = func(ctx context.Context, h phash.Hash) (bool, error) {
+		_, ok, err := cur.Load().MatchCtx(ctx, h)
+		return ok, err
+	}
+	cfg.Publish = func(nb *pipeline.BuildResult) { cur.Store(nb) }
+	inc, err := pipeline.NewIncremental(base, site, pcfg)
+	if err != nil {
+		t.Fatalf("NewIncremental: %v", err)
+	}
+	g, err := New(inc, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { g.Close() })
+	return g, &cur, pcfg
+}
+
+// saveBytes serialises a build for bitwise comparison.
+func saveBytes(t *testing.T, b *pipeline.BuildResult) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := b.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestIngestDeterminism is the subsystem's core invariant: ingesting the
+// live tail in batches and re-clustering ends bitwise-identical to a
+// from-scratch build over the union corpus.
+func TestIngestDeterminism(t *testing.T) {
+	full, base, live, site := carve(t, 120)
+	g, cur, pcfg := harness(t, base, site, Config{Threshold: 1 << 20})
+	ctx := context.Background()
+
+	ref, err := pipeline.Build(ctx, full, site, pcfg, nil)
+	if err != nil {
+		t.Fatalf("union Build: %v", err)
+	}
+	want := saveBytes(t, ref)
+
+	cuts := []int{0, len(live) / 3, 2 * len(live) / 3, len(live)}
+	for bi := 1; bi < len(cuts); bi++ {
+		batch := live[cuts[bi-1]:cuts[bi]]
+		r, err := g.Ingest(ctx, batch)
+		if err != nil {
+			t.Fatalf("Ingest batch %d: %v", bi, err)
+		}
+		if r.Accepted != len(batch) {
+			t.Fatalf("batch %d: accepted %d of %d", bi, r.Accepted, len(batch))
+		}
+		if err := g.Recluster(ctx); err != nil {
+			t.Fatalf("Recluster %d: %v", bi, err)
+		}
+	}
+	if got := saveBytes(t, cur.Load()); !bytes.Equal(got, want) {
+		t.Error("ingested engine diverges from a from-scratch build over the union corpus")
+	}
+	st := g.Stats()
+	if st.Seq != uint64(len(live)) || st.Ingested != int64(len(live)) || st.Pool != 0 {
+		t.Errorf("stats after drain: %+v", st)
+	}
+	if st.Reclusters == 0 {
+		t.Error("no re-clusters recorded")
+	}
+}
+
+// plantNovelEntry appends a synthetic KYM entry whose single gallery hash is
+// far from every existing post and gallery hash: a meme the site knows about
+// but nobody has posted yet. Five ingested copies of the returned hash form
+// an isolated singleton cluster that annotates against the planted entry —
+// servable only after a re-cluster, never before.
+func plantNovelEntry(t *testing.T, ds *dataset.Dataset) phash.Hash {
+	t.Helper()
+	var existing []phash.Hash
+	for i := range ds.Posts {
+		if ds.Posts[i].HasImage {
+			existing = append(existing, ds.Posts[i].PHash())
+		}
+	}
+	for _, e := range ds.KYMEntries {
+		for _, g := range e.Gallery {
+			existing = append(existing, phash.Hash(g))
+		}
+	}
+	for k := uint64(1); k < 1<<20; k++ {
+		h := phash.Hash(k * 0x9E3779B97F4A7C15)
+		far := true
+		for _, x := range existing {
+			if phash.Distance(h, x) <= 16 {
+				far = false
+				break
+			}
+		}
+		if far {
+			ds.KYMEntries = append(ds.KYMEntries, dataset.KYMEntry{
+				Name:            "synthetic-novel-meme",
+				Title:           "Synthetic Novel Meme",
+				Category:        "memes",
+				Gallery:         []uint64{uint64(h)},
+				ScreenshotFlags: []bool{false},
+			})
+			return h
+		}
+	}
+	t.Fatal("no hash is far from the whole corpus")
+	return 0
+}
+
+// TestIngestTriggerServesNewPosts exercises the full streaming loop: posts
+// that nothing matches park as pending, crossing the threshold starts the
+// background re-cluster, and the posts become servable through the
+// published engine without any restart.
+func TestIngestTriggerServesNewPosts(t *testing.T) {
+	ds, err := dataset.Generate(dataset.SmallConfig())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	h := plantNovelEntry(t, ds)
+	site, err := ds.Site(true)
+	if err != nil {
+		t.Fatalf("Site: %v", err)
+	}
+	g, cur, _ := harness(t, ds, site, Config{Threshold: 5})
+	ctx := context.Background()
+	if _, ok, err := cur.Load().MatchCtx(ctx, h); err != nil || ok {
+		t.Fatalf("novel hash already matches (ok=%v, err=%v)", ok, err)
+	}
+	posts := make([]dataset.Post, 5)
+	for i := range posts {
+		posts[i] = dataset.Post{
+			ID:        9_000_000 + int64(i),
+			Community: dataset.Pol,
+			Timestamp: time.Unix(0, 0).UTC(),
+			HasImage:  true,
+			Hash:      uint64(h),
+			TruthMeme: -1,
+			TruthRoot: -1,
+		}
+	}
+	r, err := g.Ingest(ctx, posts)
+	if err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	if !r.Triggered || r.Assigned != 0 || r.Pending != 5 {
+		t.Fatalf("receipt = %+v, want triggered with 5 pending", r)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, ok, err := cur.Load().MatchCtx(ctx, h); err == nil && ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ingested hash never became servable; stats %+v", g.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := g.Stats()
+	if st.Reclusters == 0 || st.Ingested != 5 {
+		t.Errorf("stats after trigger: %+v", st)
+	}
+
+	// The follow-up ingest of the same hash is assigned immediately.
+	dup := posts[0]
+	dup.ID = 9_000_100
+	r, err = g.Ingest(ctx, []dataset.Post{dup})
+	if err != nil {
+		t.Fatalf("duplicate Ingest: %v", err)
+	}
+	if r.Assigned != 1 {
+		t.Errorf("duplicate receipt = %+v, want assigned", r)
+	}
+}
+
+// TestIngestJournalReplay pins the restart path: a fresh process replaying
+// the journal over the base corpus converges on the exact engine the first
+// process published.
+func TestIngestJournalReplay(t *testing.T) {
+	_, base, live, site := carve(t, 80)
+	dir := t.TempDir()
+	g, cur, _ := harness(t, base, site, Config{Threshold: 1 << 20, DeltaDir: dir})
+	ctx := context.Background()
+
+	for _, cut := range [][2]int{{0, len(live) / 2}, {len(live) / 2, len(live)}} {
+		if _, err := g.Ingest(ctx, live[cut[0]:cut[1]]); err != nil {
+			t.Fatalf("Ingest: %v", err)
+		}
+		if err := g.Recluster(ctx); err != nil {
+			t.Fatalf("Recluster: %v", err)
+		}
+	}
+	want := saveBytes(t, cur.Load())
+	if err := g.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	g2, cur2, _ := harness(t, base, site, Config{Threshold: 1 << 20, DeltaDir: dir})
+	n, err := g2.Replay(ctx, 0)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if n != len(live) {
+		t.Errorf("replayed %d posts, want %d", n, len(live))
+	}
+	if got := saveBytes(t, cur2.Load()); !bytes.Equal(got, want) {
+		t.Error("replayed engine diverges from the pre-restart engine")
+	}
+	if st := g2.Stats(); st.Seq != uint64(len(live)) {
+		t.Errorf("replayed seq = %d, want %d", st.Seq, len(live))
+	}
+}
+
+// TestIngestCompaction pins the journal-folding path: after compaction the
+// delta dir holds a base snapshot that is bitwise a from-scratch build over
+// the union corpus plus one merged head frame, old segments are gone, and a
+// restart from the compacted state replays cleanly.
+func TestIngestCompaction(t *testing.T) {
+	full, base, live, site := carve(t, 60)
+	dir := t.TempDir()
+	g, _, pcfg := harness(t, base, site, Config{Threshold: 1 << 20, DeltaDir: dir, CompactAfter: 1})
+	ctx := context.Background()
+
+	half := len(live) / 2
+	for _, cut := range [][2]int{{0, half}, {half, len(live)}} {
+		if _, err := g.Ingest(ctx, live[cut[0]:cut[1]]); err != nil {
+			t.Fatalf("Ingest: %v", err)
+		}
+		if err := g.Recluster(ctx); err != nil {
+			t.Fatalf("Recluster: %v", err)
+		}
+	}
+	st := g.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("no compaction ran: %+v", st)
+	}
+
+	path, seq, ok, err := LatestBase(dir)
+	if err != nil || !ok {
+		t.Fatalf("LatestBase: ok=%v err=%v", ok, err)
+	}
+	if seq != uint64(len(live)) {
+		t.Errorf("base folds seq %d, want %d", seq, len(live))
+	}
+	snap, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading base snapshot: %v", err)
+	}
+	ref, err := pipeline.Build(ctx, full, site, pcfg, nil)
+	if err != nil {
+		t.Fatalf("union Build: %v", err)
+	}
+	if !bytes.Equal(snap, saveBytes(t, ref)) {
+		t.Error("compacted base snapshot diverges from a from-scratch union build")
+	}
+
+	segs, err := journalSegments(dir)
+	if err != nil {
+		t.Fatalf("journalSegments: %v", err)
+	}
+	if len(segs) != 1 || segs[0] != "delta-0000000000000000.dlt" {
+		t.Errorf("post-compaction segments = %v, want the merged head only", segs)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Restart from the compacted state: the journal covers exactly what the
+	// base folds, so replay absorbs the posts without republishing.
+	g2, cur2, _ := harness(t, base, site, Config{Threshold: 1 << 20, DeltaDir: dir})
+	before := cur2.Load()
+	n, err := g2.Replay(ctx, seq)
+	if err != nil {
+		t.Fatalf("Replay after compaction: %v", err)
+	}
+	if n != len(live) {
+		t.Errorf("replayed %d posts, want %d", n, len(live))
+	}
+	if cur2.Load() != before {
+		t.Error("replay republished although the base already folds the journal")
+	}
+	// One more ingested batch after the restart still converges.
+	extra := live[:0:0]
+	if err := g2.Recluster(ctx); err != nil {
+		t.Fatalf("idle Recluster: %v", err)
+	}
+	_ = extra
+}
+
+// TestIngestBackpressureAndValidation pins the rejection paths: pool
+// overflow, invalid communities, and ingest-after-close. Rejected batches
+// must leave no trace — no journal frame, no sequence advance.
+func TestIngestBackpressureAndValidation(t *testing.T) {
+	_, base, live, site := carve(t, 20)
+	dir := t.TempDir()
+	g, _, _ := harness(t, base, site, Config{Threshold: 1 << 20, MaxPending: 4, DeltaDir: dir})
+	ctx := context.Background()
+
+	if _, err := g.Ingest(ctx, live[:5]); !errors.Is(err, ErrPoolFull) {
+		t.Fatalf("overflow ingest err = %v, want ErrPoolFull", err)
+	}
+	st := g.Stats()
+	if st.Rejected != 5 || st.Seq != 0 || st.Pool != 0 {
+		t.Errorf("stats after rejection: %+v", st)
+	}
+	segs, err := journalSegments(dir)
+	if err != nil || len(segs) != 0 {
+		t.Errorf("rejected batch left journal segments %v (err %v)", segs, err)
+	}
+
+	bad := live[0]
+	bad.Community = dataset.Community(99)
+	if _, err := g.Ingest(ctx, []dataset.Post{bad}); err == nil {
+		t.Error("invalid community accepted")
+	}
+
+	if _, err := g.Ingest(ctx, live[:2]); err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := g.Ingest(ctx, live[2:4]); !errors.Is(err, ErrClosed) {
+		t.Errorf("post-close ingest err = %v, want ErrClosed", err)
+	}
+}
+
+// TestIngestConfigValidation pins the constructor contract.
+func TestIngestConfigValidation(t *testing.T) {
+	_, base, _, site := carve(t, 5)
+	inc, err := pipeline.NewIncremental(base, site, pipeline.DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewIncremental: %v", err)
+	}
+	if _, err := New(nil, Config{}); err == nil {
+		t.Error("nil incremental state accepted")
+	}
+	if _, err := New(inc, Config{}); err == nil {
+		t.Error("missing hooks accepted")
+	}
+}
+
+// TestLatestBaseMissingDir pins the fresh-boot path: no dir, no base, no
+// error.
+func TestLatestBaseMissingDir(t *testing.T) {
+	_, _, ok, err := LatestBase(filepath.Join(t.TempDir(), "nope"))
+	if err != nil || ok {
+		t.Errorf("LatestBase on missing dir: ok=%v err=%v", ok, err)
+	}
+}

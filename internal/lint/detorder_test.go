@@ -6,6 +6,37 @@ func TestDetOrder(t *testing.T) {
 	RunAnalyzerTest(t, DetOrder, "example.com/memes/internal/pipeline")
 }
 
+func TestDetOrderIngest(t *testing.T) {
+	RunAnalyzerTest(t, DetOrder, "example.com/memes/internal/ingest")
+}
+
 func TestDetOrderOutOfScope(t *testing.T) {
 	RunAnalyzerTest(t, DetOrder, "example.com/memes/internal/config")
+}
+
+// TestScopeGating pins the package sets the analyzers police: streaming
+// ingest joined the deterministic scope in the same PR that created it, and
+// ctxflow covers it like any other library package.
+func TestScopeGating(t *testing.T) {
+	for _, tc := range []struct {
+		path string
+		det  bool
+		ctx  bool
+	}{
+		{"github.com/memes-pipeline/memes/internal/ingest", true, true},
+		{"example.com/memes/internal/ingest", true, true},
+		{"github.com/memes-pipeline/memes/internal/pipeline", true, true},
+		{"github.com/memes-pipeline/memes", true, true},
+		{"github.com/memes-pipeline/memes/internal/server", false, true},
+		{"github.com/memes-pipeline/memes/internal/parallel", false, false},
+		{"github.com/memes-pipeline/memes/cmd/memeserve", false, false},
+		{"github.com/memes-pipeline/memes/internal/ingestion", false, true}, // suffix match is segment-exact
+	} {
+		if got := inDeterministicScope(tc.path); got != tc.det {
+			t.Errorf("inDeterministicScope(%q) = %v, want %v", tc.path, got, tc.det)
+		}
+		if got := inCtxFlowScope(tc.path); got != tc.ctx {
+			t.Errorf("inCtxFlowScope(%q) = %v, want %v", tc.path, got, tc.ctx)
+		}
+	}
 }

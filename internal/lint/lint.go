@@ -226,6 +226,7 @@ var deterministicScopes = []string{
 	"internal/pipeline",
 	"internal/cluster",
 	"internal/index",
+	"internal/ingest",
 	"internal/phash",
 	"memes", // the module root package
 }

@@ -1,0 +1,44 @@
+// Package ingest is the detorder fixture for the streaming-ingest scope:
+// the real internal/ingest re-clusters and journals accepted posts, so its
+// output must be a pure function of ingest order — map iteration and clock
+// reads are reportable exactly as in internal/pipeline.
+package ingest
+
+import (
+	"sort"
+	"time"
+)
+
+func drainPoolLeaky(pool map[int64]uint64) []uint64 {
+	var out []uint64
+	for _, h := range pool { // want "range over map pool"
+		out = append(out, h)
+	}
+	return out
+}
+
+func drainPoolSorted(pool map[int64]uint64) []int64 {
+	ids := make([]int64, 0, len(pool))
+	for id := range pool { // ok: appended slice is sorted after the loop
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func pendingTotal(pending map[int]int) int {
+	n := 0
+	for _, c := range pending { // ok: accumulation commutes
+		n += c
+	}
+	return n
+}
+
+func stampReceipt() int64 {
+	return time.Now().UnixNano() // want "time.Now"
+}
+
+//memes:nondet journal mtime is operational metadata, not part of the artifact
+func journalAge(mtime time.Time) time.Duration {
+	return time.Since(mtime)
+}

@@ -129,3 +129,51 @@ func NeighbourhoodsCtx(ctx context.Context, hashes []Hash, radius, workers int) 
 	}
 	return neigh, nil
 }
+
+// CrossNeighbourhoodsCtx computes, for every probe hash, the indexes of all
+// base hashes within the given Hamming radius of it (duplicates included,
+// probes never matched against each other), each list in ascending base
+// index order. It is the streaming companion of NeighbourhoodsCtx: an ingest
+// batch probes the resident corpus without re-scanning resident pairs, so an
+// incremental re-cluster pays O(len(base)·len(probes)) instead of the full
+// O(n²). The scan is chunked over probes across up to `workers` goroutines
+// (<= 0 means GOMAXPROCS); output is identical for every worker count.
+//
+// Cancellation stops chunks from being scheduled and returns
+// (nil, ctx.Err()); no goroutine outlives the call.
+func CrossNeighbourhoodsCtx(ctx context.Context, base, probes []Hash, radius, workers int) ([][]int32, error) {
+	m := len(probes)
+	out := make([][]int32, m)
+	if m == 0 || len(base) == 0 || radius < 0 {
+		return out, ctx.Err()
+	}
+	w := parallel.Workers(workers)
+	if w > m {
+		w = m
+	}
+	chunk := parallel.ChunkSize(m, w)
+	numChunks := (m + chunk - 1) / chunk
+	if err := parallel.ForCtx(ctx, numChunks, w, func(c int) {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		arena := make([]int32, 0, (hi-lo)*4)
+		for i := lo; i < hi; i++ {
+			at := len(arena)
+			hq := probes[i]
+			for j, h := range base {
+				if Distance(hq, h) <= radius {
+					arena = append(arena, int32(j))
+				}
+			}
+			// Capacity-capped like the kernel above: rows stay safe to
+			// extend by callers merging cross and in-batch lists.
+			out[i] = arena[at:len(arena):len(arena)]
+		}
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

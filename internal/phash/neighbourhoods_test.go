@@ -1,6 +1,7 @@
 package phash
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 )
@@ -92,5 +93,68 @@ func TestNeighbourhoodsNegativeRadius(t *testing.T) {
 		if len(l) != 0 {
 			t.Fatalf("list %d should be empty, got %v", i, l)
 		}
+	}
+}
+
+// TestCrossNeighbourhoodsMatchesUnionScan pins CrossNeighbourhoodsCtx
+// against NeighbourhoodsCtx over the concatenated corpus: each probe row
+// must equal the base-index portion of the union scan's row for that probe.
+func TestCrossNeighbourhoodsMatchesUnionScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	for _, shape := range []struct{ base, probes int }{
+		{1, 1}, {40, 1}, {40, 40}, {300, 17}, {17, 300},
+	} {
+		corpus := clusteredCorpus(rng, shape.base+shape.probes)
+		base, probes := corpus[:shape.base], corpus[shape.base:]
+		for _, radius := range []int{0, 4, 10} {
+			full, err := NeighbourhoodsCtx(context.Background(), corpus, radius, 1)
+			if err != nil {
+				t.Fatalf("NeighbourhoodsCtx: %v", err)
+			}
+			for _, workers := range []int{1, 7} {
+				cross, err := CrossNeighbourhoodsCtx(context.Background(), base, probes, radius, workers)
+				if err != nil {
+					t.Fatalf("CrossNeighbourhoodsCtx: %v", err)
+				}
+				for i := range probes {
+					var want []int32
+					for _, j := range full[shape.base+i] {
+						if int(j) < shape.base {
+							want = append(want, j)
+						}
+					}
+					got := cross[i]
+					if len(got) != len(want) {
+						t.Fatalf("base=%d probes=%d radius=%d workers=%d probe %d: got %d hits, want %d",
+							shape.base, shape.probes, radius, workers, i, len(got), len(want))
+					}
+					for k := range want {
+						if got[k] != want[k] {
+							t.Fatalf("base=%d probes=%d radius=%d workers=%d probe %d: hit %d = %d, want %d",
+								shape.base, shape.probes, radius, workers, i, k, got[k], want[k])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCrossNeighbourhoodsEdges pins the degenerate inputs.
+func TestCrossNeighbourhoodsEdges(t *testing.T) {
+	out, err := CrossNeighbourhoodsCtx(context.Background(), nil, []Hash{1}, 4, 2)
+	if err != nil {
+		t.Fatalf("empty base: %v", err)
+	}
+	if len(out) != 1 || len(out[0]) != 0 {
+		t.Fatalf("empty base should yield one empty row, got %v", out)
+	}
+	out, err = CrossNeighbourhoodsCtx(context.Background(), []Hash{1}, nil, 4, 2)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty probes should yield no rows, got %v, %v", out, err)
+	}
+	out, err = CrossNeighbourhoodsCtx(context.Background(), []Hash{1}, []Hash{1}, -1, 2)
+	if err != nil || len(out[0]) != 0 {
+		t.Fatalf("negative radius should match nothing, got %v, %v", out, err)
 	}
 }

@@ -149,17 +149,44 @@ func Build(ctx context.Context, ds *dataset.Dataset, site *annotate.Site, cfg Co
 	}
 	em.record(StageNeighbours, neighDur, neighPoints)
 
+	// Step 5 plus the merge and index build, shared with the incremental
+	// rebuild path so both assign byte-identical IDs and annotations.
+	annotated, err := assemble(ctx, b, fringe, partials, workers, em)
+	if err != nil {
+		return nil, err
+	}
+
+	b.buildStats.FringeImages = fringeImages
+	b.buildStats.Clusters = len(b.Clusters)
+	b.buildStats.AnnotatedClusters = annotated
+	b.buildWall = since(start)
+	return b, nil
+}
+
+// assemble runs Step 5 (batch medoid annotation) over fully materialised
+// partials, merges them into b in fixed community order — assigning stable
+// sequential cluster IDs — and builds the Step 6 index. It returns the
+// annotated-cluster count. Shared by Build and Incremental.RebuildCtx: the
+// streaming path's determinism guarantee (bitwise-identical clusters to a
+// from-scratch build over the union corpus) holds by construction because
+// both paths run this exact code over identical partials.
+func assemble(ctx context.Context, b *BuildResult, fringe []dataset.Community, partials []communityPartial, workers int, em emitter) (int, error) {
+	totalClusters := 0
+	for i := range partials {
+		totalClusters += len(partials[i].clusters)
+	}
+
 	// Step 5: batch-annotate every medoid across all communities at once.
-	stageStart = em.start(StageAnnotate)
+	stageStart := em.start(StageAnnotate)
 	medoids := make([]phash.Hash, 0, totalClusters)
 	for _, p := range partials {
 		for _, c := range p.clusters {
 			medoids = append(medoids, c.MedoidHash)
 		}
 	}
-	annotations, err := site.AnnotateBatchCtx(ctx, medoids, cfg.AnnotationThreshold, workers)
+	annotations, err := b.Site.AnnotateBatchCtx(ctx, medoids, b.Config.AnnotationThreshold, workers)
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
 
 	// Merge in fixed community order, assigning stable cluster IDs.
@@ -196,16 +223,7 @@ func Build(ctx context.Context, ds *dataset.Dataset, site *annotate.Site, cfg Co
 	em.done(StageAnnotate, stageStart, totalClusters)
 
 	// The Step 6 index, built once and queried by every Associate / Match.
-	annotated, err := b.buildIndex()
-	if err != nil {
-		return nil, err
-	}
-
-	b.buildStats.FringeImages = fringeImages
-	b.buildStats.Clusters = len(b.Clusters)
-	b.buildStats.AnnotatedClusters = annotated
-	b.buildWall = since(start)
-	return b, nil
+	return b.buildIndex()
 }
 
 // buildIndex (re)builds the Step 6 medoid index from the annotated clusters

@@ -1,0 +1,197 @@
+package pipeline
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/memes-pipeline/memes/internal/dataset"
+)
+
+// deltaFixture builds a two-frame journal with representative post shapes:
+// every field populated, empty strings, zero hashes, negative ground truth.
+func deltaFixture() []Delta {
+	ts := func(s string) time.Time {
+		t, err := time.Parse(time.RFC3339, s)
+		if err != nil {
+			panic(err)
+		}
+		return t.UTC()
+	}
+	return []Delta{
+		{FromSeq: 0, Posts: []dataset.Post{
+			{ID: 1, Community: dataset.Pol, Timestamp: ts("2017-01-05T10:00:00Z"), HasImage: true, Hash: 0xdeadbeefcafef00d, TruthMeme: 3, TruthRoot: 0},
+			{ID: 2, Community: dataset.Reddit, Subreddit: "The_Donald", Timestamp: ts("2017-01-05T11:30:00Z"), HasImage: true, Hash: 1, Score: -7, TruthMeme: -1, TruthRoot: -1},
+			{ID: 3, Community: dataset.Twitter, Timestamp: ts("2017-01-06T00:00:00Z"), HasImage: false, TruthMeme: -1, TruthRoot: -1},
+		}},
+		{FromSeq: 3, Posts: []dataset.Post{
+			{ID: 4, Community: dataset.Gab, Timestamp: ts("2017-02-01T09:15:00Z"), HasImage: true, Hash: ^uint64(0), Score: 9001, TruthMeme: 0, TruthRoot: 4},
+		}},
+	}
+}
+
+// deltaBytes serialises frames back to back, as an ingest journal would.
+func deltaBytes(t *testing.T, frames []Delta) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for i := range frames {
+		if err := SaveDelta(&buf, &frames[i]); err != nil {
+			t.Fatalf("SaveDelta frame %d: %v", i, err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestDeltaRoundTrip pins that a journal of frames survives the codec
+// bit-for-bit, including timestamps (compared in UTC) and negative values.
+func TestDeltaRoundTrip(t *testing.T) {
+	frames := deltaFixture()
+	got, err := ReadDeltas(bytes.NewReader(deltaBytes(t, frames)))
+	if err != nil {
+		t.Fatalf("ReadDeltas: %v", err)
+	}
+	if !reflect.DeepEqual(got, frames) {
+		t.Fatalf("round trip diverged:\ngot  %+v\nwant %+v", got, frames)
+	}
+
+	// An empty journal is valid and empty.
+	empty, err := ReadDeltas(bytes.NewReader(nil))
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty journal: got %v, %v", empty, err)
+	}
+
+	// A frame with no posts round-trips too (a rotation marker).
+	hollow := []Delta{{FromSeq: 42}}
+	got, err = ReadDeltas(bytes.NewReader(deltaBytes(t, hollow)))
+	if err != nil || len(got) != 1 || got[0].FromSeq != 42 || len(got[0].Posts) != 0 {
+		t.Fatalf("hollow frame: got %+v, %v", got, err)
+	}
+}
+
+// TestDeltaRejectsEveryTruncation mirrors the MEMESNAP suite with one
+// deliberate exception: frames are self-contained, so a cut exactly at a
+// frame boundary reads as a valid shorter journal (that is the crash-
+// tolerance contract — losing the tail frame must not poison the rest).
+// Every other cut — through frame headers, mid-post, mid-string, inside a
+// CRC trailer — must fail loudly.
+func TestDeltaRejectsEveryTruncation(t *testing.T) {
+	frames := deltaFixture()
+	stream := deltaBytes(t, frames)
+	frameEnd := len(deltaBytes(t, frames[:1]))
+	for n := 1; n < len(stream); n++ {
+		got, err := ReadDeltas(bytes.NewReader(stream[:n]))
+		if n == frameEnd {
+			if err != nil || len(got) != 1 {
+				t.Fatalf("cut at frame boundary %d: got %d frames, %v; want the intact first frame", n, len(got), err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Fatalf("journal truncated to %d of %d bytes read successfully", n, len(stream))
+		}
+	}
+	if _, err := ReadDeltas(bytes.NewReader(stream)); err != nil {
+		t.Fatalf("untruncated journal rejected: %v", err)
+	}
+}
+
+// TestDeltaRejectsEveryByteFlip corrupts each byte of the journal in turn:
+// header flips fail the magic/version checks, payload flips the per-frame
+// CRC (or a structural read on the way to it), trailer flips the checksum
+// comparison itself. No single-byte corruption may load.
+func TestDeltaRejectsEveryByteFlip(t *testing.T) {
+	stream := deltaBytes(t, deltaFixture())
+	corrupt := make([]byte, len(stream))
+	for i := 0; i < len(stream); i++ {
+		copy(corrupt, stream)
+		corrupt[i] ^= 0xff
+		if _, err := ReadDeltas(bytes.NewReader(corrupt)); err == nil {
+			t.Fatalf("journal with byte %d of %d flipped read successfully", i, len(stream))
+		}
+	}
+}
+
+// TestDeltaChecksumTrailerBoundaries pins each frame's CRC trailer: flipping
+// any stored checksum byte must produce the checksum mismatch error, and
+// truncating into the final trailer must fail reading it.
+func TestDeltaChecksumTrailerBoundaries(t *testing.T) {
+	frames := deltaFixture()
+	frameOne := deltaBytes(t, frames[:1])
+	stream := deltaBytes(t, frames)
+	// Trailer of the first frame, then trailer of the last frame.
+	for _, hi := range []int{len(frameOne), len(stream)} {
+		for i := hi - 4; i < hi; i++ {
+			corrupt := append([]byte(nil), stream...)
+			corrupt[i] ^= 0x01
+			_, err := ReadDeltas(bytes.NewReader(corrupt))
+			if err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+				t.Fatalf("trailer byte %d flipped: err = %v, want checksum mismatch", i, err)
+			}
+		}
+	}
+	for drop := 1; drop <= 4; drop++ {
+		_, err := ReadDeltas(bytes.NewReader(stream[:len(stream)-drop]))
+		if err == nil || !strings.Contains(err.Error(), "checksum") {
+			t.Fatalf("trailer truncated by %d: err = %v, want checksum read failure", drop, err)
+		}
+	}
+}
+
+// TestDeltaRejectsInvalidCommunity pins the post-CRC validation: an intact
+// frame naming an unknown community is rejected.
+func TestDeltaRejectsInvalidCommunity(t *testing.T) {
+	bad := []Delta{{FromSeq: 0, Posts: []dataset.Post{{ID: 1, Community: dataset.Community(99), Timestamp: time.Unix(0, 0).UTC()}}}}
+	if _, err := ReadDeltas(bytes.NewReader(deltaBytes(t, bad))); err == nil {
+		t.Fatal("frame with invalid community read successfully")
+	}
+}
+
+// TestSpliceDeltas pins the replay chain logic: ordering, folded-frame
+// skipping, compaction-overlap tolerance, and gap rejection.
+func TestSpliceDeltas(t *testing.T) {
+	p := func(ids ...int64) []dataset.Post {
+		out := make([]dataset.Post, len(ids))
+		for i, id := range ids {
+			out[i] = dataset.Post{ID: id, Community: dataset.Pol, Timestamp: time.Unix(0, 0).UTC()}
+		}
+		return out
+	}
+	frames := []Delta{
+		{FromSeq: 3, Posts: p(4, 5)},
+		{FromSeq: 0, Posts: p(1, 2, 3)}, // out of order on purpose
+	}
+	posts, covered, err := SpliceDeltas(frames, 0)
+	if err != nil {
+		t.Fatalf("SpliceDeltas: %v", err)
+	}
+	if covered != 5 || len(posts) != 5 || posts[0].ID != 1 || posts[4].ID != 5 {
+		t.Fatalf("splice = %d posts covered %d, want 5/5 in ID order", len(posts), covered)
+	}
+
+	// Frames fully below `from` are skipped; partial overlap contributes its
+	// tail only (the compaction-crash window).
+	merged := []Delta{
+		{FromSeq: 0, Posts: p(1, 2, 3, 4)}, // compacted head
+		{FromSeq: 3, Posts: p(4, 5)},       // stale segment overlapping the head
+	}
+	posts, covered, err = SpliceDeltas(merged, 0)
+	if err != nil {
+		t.Fatalf("overlap splice: %v", err)
+	}
+	if covered != 5 || len(posts) != 5 || posts[3].ID != 4 || posts[4].ID != 5 {
+		t.Fatalf("overlap splice = %+v covered %d, want IDs 1..5", posts, covered)
+	}
+
+	// Everything already folded: nothing to replay.
+	posts, covered, err = SpliceDeltas(merged, 5)
+	if err != nil || len(posts) != 0 || covered != 5 {
+		t.Fatalf("folded splice = %d posts covered %d err %v, want 0/5/nil", len(posts), covered, err)
+	}
+
+	// A hole in the chain rejects the journal.
+	if _, _, err := SpliceDeltas([]Delta{{FromSeq: 2, Posts: p(3)}}, 0); err == nil {
+		t.Fatal("gapped journal spliced successfully")
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"sort"
+	"time"
 
 	"github.com/memes-pipeline/memes/internal/annotate"
 	"github.com/memes-pipeline/memes/internal/cluster"
@@ -319,6 +321,176 @@ func LoadBuild(r io.Reader, site *annotate.Site, ds *dataset.Dataset, reconfig f
 	b.buildWall = since(start)
 	return b, nil
 }
+
+// --- delta snapshots ---------------------------------------------------------
+
+// Delta snapshots are the journal of the streaming ingest path: each frame
+// records one accepted batch of posts, layered on top of the base MEMESNAP.
+// A delta segment file is a sequence of self-contained frames — magic +
+// version header, varint-coded payload, CRC-32 trailer per frame — so an
+// append that dies mid-frame corrupts only that frame and is rejected loudly
+// on replay. FromSeq chains frames: it is the total number of posts
+// journaled before the frame, so replay can detect gaps and skip frames
+// already folded into a compacted base snapshot.
+
+// deltaMagic identifies a delta frame.
+var deltaMagic = [8]byte{'M', 'E', 'M', 'E', 'D', 'E', 'L', 'T'}
+
+// deltaVersion is the current delta frame format version.
+const deltaVersion uint32 = 1
+
+// Delta is one ingested batch of posts plus its position in the journal.
+type Delta struct {
+	// FromSeq is the number of posts journaled before this frame.
+	FromSeq uint64
+	// Posts are the batch's posts, in ingest order.
+	Posts []dataset.Post
+}
+
+// SaveDelta appends one self-contained delta frame to w.
+func SaveDelta(w io.Writer, d *Delta) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(deltaMagic[:]); err != nil {
+		return fmt.Errorf("pipeline: writing delta header: %w", err)
+	}
+	var verbuf [4]byte
+	binary.LittleEndian.PutUint32(verbuf[:], deltaVersion)
+	if _, err := bw.Write(verbuf[:]); err != nil {
+		return fmt.Errorf("pipeline: writing delta header: %w", err)
+	}
+
+	crc := crc32.NewIEEE()
+	enc := &snapEncoder{w: io.MultiWriter(bw, crc)}
+	enc.uvarint(d.FromSeq)
+	enc.uvarint(uint64(len(d.Posts)))
+	for i := range d.Posts {
+		p := &d.Posts[i]
+		enc.varint(p.ID)
+		enc.uvarint(uint64(p.Community))
+		enc.string(p.Subreddit)
+		enc.varint(p.Timestamp.UnixNano())
+		enc.bool(p.HasImage)
+		enc.uint64(p.Hash)
+		enc.varint(int64(p.Score))
+		enc.varint(int64(p.TruthMeme))
+		enc.varint(int64(p.TruthRoot))
+	}
+	if enc.err != nil {
+		return fmt.Errorf("pipeline: writing delta frame: %w", enc.err)
+	}
+
+	var crcbuf [4]byte
+	binary.LittleEndian.PutUint32(crcbuf[:], crc.Sum32())
+	if _, err := bw.Write(crcbuf[:]); err != nil {
+		return fmt.Errorf("pipeline: writing delta checksum: %w", err)
+	}
+	return bw.Flush()
+}
+
+// maxDeltaPosts caps the per-frame pre-allocation so a corrupt count cannot
+// trigger a huge allocation before the CRC check rejects the frame.
+const maxDeltaPosts = 1 << 16
+
+// ReadDeltas reads every delta frame from r until a clean EOF. A stream that
+// ends mid-frame, fails a frame checksum, or names an invalid community is
+// rejected with an error; whatever parsed before the bad frame is discarded
+// so callers never act on half a journal.
+func ReadDeltas(r io.Reader) ([]Delta, error) {
+	br := bufio.NewReader(r)
+	var out []Delta
+	for {
+		var header [12]byte
+		if _, err := io.ReadFull(br, header[:]); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, fmt.Errorf("pipeline: reading delta frame %d header: %w", len(out), err)
+		}
+		if [8]byte(header[:8]) != deltaMagic {
+			return nil, fmt.Errorf("pipeline: delta frame %d: not a delta stream (bad magic)", len(out))
+		}
+		if v := binary.LittleEndian.Uint32(header[8:12]); v != deltaVersion {
+			return nil, fmt.Errorf("pipeline: delta frame %d: unsupported version %d (supported: %d)", len(out), v, deltaVersion)
+		}
+
+		crc := crc32.NewIEEE()
+		dec := &snapDecoder{r: br, crc: crc}
+		d := Delta{FromSeq: dec.uvarint()}
+		n := int(dec.uvarint())
+		if dec.err == nil && n > 0 {
+			capHint := n
+			if capHint > maxDeltaPosts {
+				capHint = maxDeltaPosts
+			}
+			d.Posts = make([]dataset.Post, 0, capHint)
+		}
+		for i := 0; i < n && dec.err == nil; i++ {
+			var p dataset.Post
+			p.ID = dec.varint()
+			p.Community = dataset.Community(dec.uvarint())
+			p.Subreddit = dec.string()
+			p.Timestamp = timeFromUnixNano(dec.varint())
+			p.HasImage = dec.bool()
+			p.Hash = dec.uint64()
+			p.Score = int(dec.varint())
+			p.TruthMeme = int(dec.varint())
+			p.TruthRoot = int(dec.varint())
+			d.Posts = append(d.Posts, p)
+		}
+		if dec.err != nil {
+			return nil, fmt.Errorf("pipeline: reading delta frame %d: %w", len(out), dec.err)
+		}
+
+		// Verify the frame checksum before validating any of it.
+		want := crc.Sum32()
+		var crcbuf [4]byte
+		if _, err := io.ReadFull(br, crcbuf[:]); err != nil {
+			return nil, fmt.Errorf("pipeline: reading delta frame %d checksum: %w", len(out), err)
+		}
+		if got := binary.LittleEndian.Uint32(crcbuf[:]); got != want {
+			return nil, fmt.Errorf("pipeline: delta frame %d checksum mismatch (stored %08x, computed %08x): stream corrupt", len(out), got, want)
+		}
+		for i := range d.Posts {
+			if !d.Posts[i].Community.Valid() {
+				return nil, fmt.Errorf("pipeline: delta frame %d post %d names invalid community %d", len(out), i, int(d.Posts[i].Community))
+			}
+		}
+		out = append(out, d)
+	}
+}
+
+// SpliceDeltas orders frames by journal position and splices their posts
+// into one contiguous stream starting at position `from` — typically the
+// sequence a compacted base snapshot already folds, or 0 for a plain base.
+// Frames fully below `from` are skipped (already folded); overlapping frames
+// contribute only their uncovered tail (compaction rewrites the journal
+// head, so a crash between the rewrite and the old-segment cleanup leaves
+// benign overlaps); a frame starting beyond the covered position is a gap
+// and rejects the journal. Returns the spliced posts and the total sequence
+// covered.
+func SpliceDeltas(frames []Delta, from uint64) ([]dataset.Post, uint64, error) {
+	ordered := make([]Delta, len(frames))
+	copy(ordered, frames)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].FromSeq < ordered[j].FromSeq })
+	covered := from
+	var posts []dataset.Post
+	for _, fr := range ordered {
+		end := fr.FromSeq + uint64(len(fr.Posts))
+		if end <= covered {
+			continue
+		}
+		if fr.FromSeq > covered {
+			return nil, 0, fmt.Errorf("pipeline: delta journal gap: frame starts at %d but only %d posts are covered", fr.FromSeq, covered)
+		}
+		posts = append(posts, fr.Posts[covered-fr.FromSeq:]...)
+		covered = end
+	}
+	return posts, covered, nil
+}
+
+// timeFromUnixNano reconstructs a delta timestamp in UTC, so a post round-
+// tripped through a delta frame compares equal regardless of the local zone.
+func timeFromUnixNano(n int64) time.Time { return time.Unix(0, n).UTC() }
 
 // --- minimal codec helpers ---------------------------------------------------
 

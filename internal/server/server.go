@@ -16,8 +16,9 @@
 //	POST /v1/associate     {"posts":[…]}            batch Step 6 association
 //	POST /v1/match         {"hash":"…"}             single-hash lookup (micro-batched)
 //	POST /v1/match/image   raw image bytes          pHash (Step 1) + lookup
+//	POST /v1/ingest        {"posts":[…]}            absorb new posts (streaming ingest)
 //	GET  /v1/healthz                                liveness + resident artifact shape
-//	GET  /v1/statsz                                 request/batch/build counters
+//	GET  /v1/statsz                                 request/batch/build/ingest counters
 //	GET  /v1/clusters                               the annotated-cluster artifact
 //	POST /v1/admin/reload                           hot-swap a fresh snapshot
 //
@@ -64,6 +65,11 @@ type Config struct {
 	MaxBatch int
 	// MaxBodyBytes bounds request bodies; 0 means DefaultMaxBodyBytes.
 	MaxBodyBytes int64
+	// Ingest, when set, enables the streaming ingest path: it receives the
+	// server's hot engine handle and returns the Ingestor POST /v1/ingest
+	// feeds (typically memes.NewIngestor over the serving corpus). Nil
+	// disables the endpoint (503).
+	Ingest func(*memes.HotEngine) (*memes.Ingestor, error)
 }
 
 // Server serves a resident engine over HTTP. Construct with New, expose
@@ -71,6 +77,7 @@ type Config struct {
 type Server struct {
 	hot      *memes.HotEngine
 	loader   func() (*memes.Engine, error)
+	ingestor *memes.Ingestor // nil when ingest is disabled
 	batch    *batcher
 	stats    counters
 	started  time.Time
@@ -104,8 +111,21 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.loadedAt.Store(time.Now())
 	s.batch = newBatcher(s.hot, maxBatch, &s.stats)
+	if cfg.Ingest != nil {
+		ing, err := cfg.Ingest(s.hot)
+		if err != nil {
+			s.batch.Close()
+			return nil, fmt.Errorf("server: ingest setup: %w", err)
+		}
+		s.ingestor = ing
+	}
 	return s, nil
 }
+
+// Ingestor returns the streaming ingest handle, or nil when ingest is
+// disabled. Callers use it for startup journal replay (Replay) and for
+// direct library-level ingestion.
+func (s *Server) Ingestor() *memes.Ingestor { return s.ingestor }
 
 // Engine pins the currently served engine generation.
 func (s *Server) Engine() *memes.Engine { return s.hot.Engine() }
@@ -145,9 +165,16 @@ func (s *Server) Reload() (ReloadStatus, error) {
 	}, nil
 }
 
-// Close stops the micro-batcher. The Server must not serve requests after
-// Close; shut the http.Server down first (connection draining), then Close.
-func (s *Server) Close() { s.batch.Close() }
+// Close stops the ingestor (waiting out any in-flight re-cluster and
+// sealing the journal) and the micro-batcher. The Server must not serve
+// requests after Close; shut the http.Server down first (connection
+// draining), then Close.
+func (s *Server) Close() {
+	if s.ingestor != nil {
+		s.ingestor.Close()
+	}
+	s.batch.Close()
+}
 
 // Handler returns the server's HTTP handler. Method routing relies on the
 // stdlib mux, so wrong-method requests get 405 with an Allow header.
@@ -159,6 +186,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/statsz", s.handleStatsz)
 	mux.HandleFunc("GET /v1/clusters", s.handleClusters)
+	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	mux.HandleFunc("POST /v1/admin/reload", s.handleReload)
 	return mux
 }
@@ -203,6 +231,15 @@ type matchResponse struct {
 	Entry      string `json:"entry,omitempty"`
 	Community  string `json:"community,omitempty"`
 	Hash       string `json:"hash"`
+	Generation uint64 `json:"generation"`
+}
+
+type ingestResponse struct {
+	Accepted   int    `json:"accepted"`
+	Assigned   int    `json:"assigned"`
+	Pending    int    `json:"pending"`
+	Triggered  bool   `json:"triggered"`
+	Seq        uint64 `json:"seq"`
 	Generation uint64 `json:"generation"`
 }
 
@@ -328,6 +365,42 @@ func (s *Server) answerMatch(w http.ResponseWriter, r *http.Request, h memes.Has
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
+// handleIngest feeds a batch of posts to the streaming Ingestor. The receipt
+// tells the client how far each post got: assigned posts matched a resident
+// annotated medoid and are servable now; pending posts wait in the pool for
+// the next threshold-triggered re-cluster.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	s.stats.ingestRequests.Add(1)
+	if s.ingestor == nil {
+		s.writeError(w, http.StatusServiceUnavailable, "ingest disabled: start the server with an ingest configuration")
+		return
+	}
+	var req struct {
+		Posts []memes.Post `json:"posts"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return
+	}
+	rec, err := s.ingestor.Ingest(r.Context(), req.Posts)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, memes.ErrIngestPoolFull) || errors.Is(err, memes.ErrIngestorClosed) {
+			code = http.StatusServiceUnavailable
+		}
+		s.writeError(w, code, "ingest: "+err.Error())
+		return
+	}
+	s.writeJSON(w, http.StatusOK, ingestResponse{
+		Accepted:   rec.Accepted,
+		Assigned:   rec.Assigned,
+		Pending:    rec.Pending,
+		Triggered:  rec.Triggered,
+		Seq:        rec.Seq,
+		Generation: s.hot.Generation(),
+	})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	eng, gen := s.hot.Pin()
 	s.writeJSON(w, http.StatusOK, healthResponse{
@@ -351,6 +424,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			Associate:  s.stats.associateRequests.Load(),
 			Match:      s.stats.matchRequests.Load(),
 			MatchImage: s.stats.matchImageRequests.Load(),
+			Ingest:     s.stats.ingestRequests.Load(),
 			Reload:     s.stats.reloadRequests.Load(),
 			Errors:     s.stats.errors.Load(),
 		},
@@ -369,6 +443,22 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			MaxBatch:        s.batch.maxBatch,
 		},
 		BuildStats: cli.StatsDoc(eng.BuildStats()),
+	}
+	if s.ingestor != nil {
+		st := s.ingestor.Stats()
+		doc.Ingest = IngestStats{
+			Enabled:           true,
+			Ingested:          st.Ingested,
+			Assigned:          st.Assigned,
+			Rejected:          st.Rejected,
+			Pending:           st.Pending,
+			Pool:              st.Pool,
+			Reclusters:        st.Reclusters,
+			ReclusterFailures: st.ReclusterFailures,
+			Compactions:       st.Compactions,
+			DeltaSegments:     st.DeltaSegments,
+			Seq:               st.Seq,
+		}
 	}
 	s.writeJSON(w, http.StatusOK, doc)
 }

@@ -15,6 +15,7 @@ type counters struct {
 	associateRequests  atomic.Int64
 	matchRequests      atomic.Int64
 	matchImageRequests atomic.Int64
+	ingestRequests     atomic.Int64
 	reloadRequests     atomic.Int64
 
 	errors atomic.Int64 // requests answered with a non-2xx status
@@ -57,6 +58,7 @@ type StatsDoc struct {
 	Match             MatchStats    `json:"match"`
 	Associate         AssocStats    `json:"associate"`
 	Batcher           BatcherStats  `json:"batcher"`
+	Ingest            IngestStats   `json:"ingest"`
 	BuildStats        cli.StatsJSON `json:"build_stats"`
 }
 
@@ -65,6 +67,7 @@ type RequestStats struct {
 	Associate  int64 `json:"associate"`
 	Match      int64 `json:"match"`
 	MatchImage int64 `json:"match_image"`
+	Ingest     int64 `json:"ingest"`
 	Reload     int64 `json:"reload"`
 	Errors     int64 `json:"errors"`
 }
@@ -89,4 +92,20 @@ type BatcherStats struct {
 	BatchedRequests int64 `json:"batched_requests"`
 	LargestBatch    int64 `json:"largest_batch"`
 	MaxBatch        int   `json:"max_batch"`
+}
+
+// IngestStats renders the streaming-ingest subsystem's counters. Enabled is
+// false (and everything else zero) when the server runs without an Ingestor.
+type IngestStats struct {
+	Enabled           bool   `json:"enabled"`
+	Ingested          int64  `json:"ingested"`
+	Assigned          int64  `json:"assigned"`
+	Rejected          int64  `json:"rejected"`
+	Pending           int    `json:"pending"`
+	Pool              int    `json:"pool"`
+	Reclusters        int64  `json:"reclusters"`
+	ReclusterFailures int64  `json:"recluster_failures"`
+	Compactions       int64  `json:"compactions"`
+	DeltaSegments     int    `json:"delta_segments"`
+	Seq               uint64 `json:"seq"`
 }
