@@ -12,6 +12,8 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"testing"
@@ -570,6 +572,165 @@ func BenchmarkEngineSnapshot(b *testing.B) {
 			}
 		}
 	})
+}
+
+// steadyStrategies are the index strategies whose sealed query path is
+// allocation-free in steady state: both compile to the flat BK-tree array
+// form and answer RadiusScratch from pooled scratch. CI pins their steady
+// benchmarks to 0 allocs/op, the same contract PhashExtraction carries.
+func steadyStrategies() []IndexStrategy { return []IndexStrategy{IndexBKTree, IndexSharded} }
+
+// BenchmarkEngineAssociateSteady measures the serve path the way a resident
+// server actually runs it: AssociateAppend into a recycled caller-owned
+// buffer, after one warm-up pass has grown the buffer and filled the query
+// scratch pool. The steady state must not allocate — allocs/op is the gated
+// quantity, throughput is informational.
+func BenchmarkEngineAssociateSteady(b *testing.B) {
+	st := getBench(b)
+	site, err := st.ds.Site(true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	imagePosts := 0
+	for i := range st.ds.Posts {
+		if st.ds.Posts[i].HasImage {
+			imagePosts++
+		}
+	}
+	for _, strategy := range steadyStrategies() {
+		b.Run(string(strategy), func(b *testing.B) {
+			eng, err := NewEngine(ctx, st.ds, site, WithIndex(strategy))
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Warm: grow the output buffer to capacity and seed the pool.
+			out, err := eng.AssociateAppend(ctx, st.ds.Posts, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, err = eng.AssociateAppend(ctx, st.ds.Posts, out[:0])
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(imagePosts)*float64(b.N)/secs, "images_per_sec")
+			}
+		})
+	}
+}
+
+// BenchmarkEngineMatchSteady measures single-hash lookup in steady state:
+// the sealed flat index answers from pooled scratch, so the per-lookup
+// allocation count must be 0.
+func BenchmarkEngineMatchSteady(b *testing.B) {
+	st := getBench(b)
+	site, err := st.ds.Site(true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, strategy := range steadyStrategies() {
+		b.Run(string(strategy), func(b *testing.B) {
+			eng, err := NewEngine(ctx, st.ds, site, WithIndex(strategy))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var queries []Hash
+			for _, c := range eng.Clusters() {
+				if c.Annotated() {
+					queries = append(queries, c.MedoidHash)
+				}
+			}
+			if len(queries) == 0 {
+				b.Skip("no annotated clusters")
+			}
+			// Warm every query once: the pooled scratch grows to the
+			// largest result set before counting, so one-time growth
+			// never shows up as allocs/op.
+			for _, q := range queries {
+				if _, _, err := eng.Match(ctx, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := eng.Match(ctx, queries[i%len(queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineSnapshotLoad measures load-to-first-query per snapshot
+// version from an on-disk file — the restart cost a serving box pays. v1
+// streams varints and rebuilds the medoid index; v2 mmaps the flat layout
+// and serves from the mapped bytes, so the index is loaded, not rebuilt.
+func BenchmarkEngineSnapshotLoad(b *testing.B) {
+	st := getBench(b)
+	site, err := st.ds.Site(true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	eng, err := NewEngine(ctx, st.ds, site)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var query Hash
+	found := false
+	for _, c := range eng.Clusters() {
+		if c.Annotated() {
+			query, found = c.MedoidHash, true
+			break
+		}
+	}
+	if !found {
+		b.Skip("no annotated clusters")
+	}
+	dir := b.TempDir()
+	for _, v := range []struct {
+		name    string
+		version uint32
+	}{{"v1", SnapshotV1}, {"v2", SnapshotV2}} {
+		path := filepath.Join(dir, v.name+".snap")
+		f, err := os.Create(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.SaveVersion(f, v.version); err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(v.name, func(b *testing.B) {
+			// Drain garbage (and mapped snapshots awaiting finalizers) so
+			// the loop measures the load, not a GC over the corpus heap.
+			runtime.GC()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				loaded, err := LoadEngineFile(path, site)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := loaded.Match(ctx, query); err != nil {
+					b.Fatal(err)
+				}
+				if err := loaded.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkPerf_AssociationThroughput measures the Step 6 association rate

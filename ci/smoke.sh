@@ -51,10 +51,16 @@ step "building engine, saving snapshot, capturing the reference summary"
 expected_assoc=$(jq -r '.associations' "$workdir/pipeline.json")
 [ "$expected_assoc" -gt 0 ] || { echo "FAIL: pipeline summary reports no associations"; exit 1; }
 
+step "saved snapshot is MEMESNAP v2 (flat, mmap-servable)"
+magic=$(head -c 8 "$workdir/engine.snap")
+[ "$magic" = "MEMESNAP" ] || { echo "FAIL: snapshot magic is '$magic', want MEMESNAP"; exit 1; }
+snap_version=$(od -An -tu4 -j8 -N4 "$workdir/engine.snap" | tr -d ' ')
+[ "$snap_version" = "2" ] || { echo "FAIL: snapshot version is $snap_version, want 2"; exit 1; }
+
 addr=127.0.0.1:18080
 step "booting memeserve on $addr"
 "$workdir/bin/memeserve" -addr "$addr" -load "$workdir/engine.snap" -in "$workdir/corpus" \
-  -ingest-threshold 5 -delta-dir "$workdir/deltas" &
+  -ingest-threshold 5 -delta-dir "$workdir/deltas" -compact-after 1 &
 server_pid=$!
 
 step "waiting for /v1/healthz"
@@ -160,7 +166,20 @@ jq -e '.ingest.enabled == true and .ingest.ingested == 5 and .ingest.reclusters 
        and .requests.ingest == 1 and .requests.errors == 0' \
   "$workdir/stats_ingest.json" >/dev/null
 
-step "restart: the delta journal replays the ingested posts"
+step "ingest compaction emits a v2 base snapshot"
+base=""
+for _ in $(seq 1 150); do
+  base=$(ls "$workdir/deltas"/base-*.snap 2>/dev/null | tail -n1)
+  [ -n "$base" ] && break
+  sleep 0.2
+done
+[ -n "$base" ] || { echo "FAIL: compaction never wrote a base snapshot"; exit 1; }
+base_version=$(od -An -tu4 -j8 -N4 "$base" | tr -d ' ')
+[ "$base_version" = "2" ] || { echo "FAIL: compacted base $base is version $base_version, want 2"; exit 1; }
+curl -fsS "http://$addr/v1/statsz" >"$workdir/stats_compact.json"
+jq -e '.ingest.compactions >= 1' "$workdir/stats_compact.json" >/dev/null
+
+step "restart: the compacted base + journal replay the ingested posts"
 kill -TERM "$server_pid"
 if ! wait "$server_pid"; then
   echo "FAIL: memeserve exited non-zero on SIGTERM before restart"
@@ -168,7 +187,7 @@ if ! wait "$server_pid"; then
 fi
 server_pid=""
 "$workdir/bin/memeserve" -addr "$addr" -load "$workdir/engine.snap" -in "$workdir/corpus" \
-  -ingest-threshold 5 -delta-dir "$workdir/deltas" &
+  -ingest-threshold 5 -delta-dir "$workdir/deltas" -compact-after 1 &
 server_pid=$!
 up=""
 for _ in $(seq 1 150); do
@@ -194,4 +213,4 @@ if ! wait "$server_pid"; then
 fi
 server_pid=""
 
-echo "SMOKE PASSED: healthz, match, associate ($expected_assoc associations), 2 hot reloads, ingest + journal replay, graceful shutdown"
+echo "SMOKE PASSED: healthz, match, associate ($expected_assoc associations), 2 hot reloads, ingest + v2 compaction + journal replay, graceful shutdown"

@@ -1,10 +1,12 @@
 // Command memebench executes the repo's named performance benchmark set —
 // the build path (BenchmarkPipelineRun), the clustering phase
 // (BenchmarkDBSCAN), the serve path per index strategy
-// (BenchmarkEngineAssociate), Step 1 hashing (BenchmarkPhashExtraction),
-// and the streaming ingest fast path (Ingest, posts/sec through
-// Ingestor.Ingest) — and writes one BENCH_<label>.json document
-// with ns/op, allocs/op, and the custom throughput metrics of each, using
+// (BenchmarkEngineAssociate), the zero-alloc steady-state serve paths
+// (EngineAssociateSteady, EngineMatchSteady), Step 1 hashing
+// (BenchmarkPhashExtraction), the streaming ingest fast path (Ingest,
+// posts/sec through Ingestor.Ingest), and snapshot load-to-first-query per
+// format version (EngineSnapshotLoad) — and writes one BENCH_<label>.json
+// document with ns/op, allocs/op, and the custom throughput metrics, using
 // the same machine-readable conventions as the CLIs' -format json stats.
 // The emitted file is one point of the repo's performance trajectory: CI
 // uploads BENCH_ci.json on every run, and curated points are committed at
@@ -28,6 +30,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
@@ -105,6 +108,23 @@ func main() {
 		strategy := strategy
 		run("EngineAssociate/"+string(strategy), func(b *testing.B) { st.benchEngineAssociate(b, strategy) })
 	}
+	for _, strategy := range steadyStrategies() {
+		strategy := strategy
+		run("EngineAssociateSteady/"+string(strategy), func(b *testing.B) { st.benchEngineAssociateSteady(b, strategy) })
+	}
+	for _, strategy := range steadyStrategies() {
+		strategy := strategy
+		run("EngineMatchSteady/"+string(strategy), func(b *testing.B) { st.benchEngineMatchSteady(b, strategy) })
+	}
+	// Load-to-first-query runs before the heap-heavy Ingest benchmark so a
+	// GC cycle over ingest garbage cannot land inside the short timed loop.
+	for _, v := range []struct {
+		name    string
+		version uint32
+	}{{"v1", memes.SnapshotV1}, {"v2", memes.SnapshotV2}} {
+		v := v
+		run("EngineSnapshotLoad/"+v.name, func(b *testing.B) { st.benchEngineSnapshotLoad(b, v.version) })
+	}
 	run("PhashExtraction", func(b *testing.B) { benchPhashExtraction(b) })
 	run("Ingest", func(b *testing.B) { st.benchIngest(b) })
 
@@ -132,19 +152,33 @@ func main() {
 			log.Fatalf("decoding baseline %s: %v", *baseline, err)
 		}
 		violations := cli.CompareBench(&base, &doc, gatedPrefixes, "images_per_sec", *regress)
+		// Allocation counts are gated as a ceiling: the steady-state serve
+		// paths are pinned at their baseline allocs/op, so a baseline of 0
+		// means 0 forever — no tolerance loosens a zero-alloc invariant.
+		violations = append(violations, cli.CompareBenchAllocs(&base, &doc, allocGatedPrefixes, *regress)...)
 		for _, v := range violations {
 			fmt.Fprintln(os.Stderr, "REGRESSION: "+v)
 		}
 		if len(violations) > 0 {
-			log.Fatalf("%d throughput regression(s) vs %s", len(violations), *baseline)
+			log.Fatalf("%d regression(s) vs %s", len(violations), *baseline)
 		}
-		fmt.Fprintf(os.Stderr, "no throughput regression vs %s (tolerance %.0f%%)\n", *baseline, 100**regress)
+		fmt.Fprintf(os.Stderr, "no regression vs %s (tolerance %.0f%%)\n", *baseline, 100**regress)
 	}
 }
 
 // gatedPrefixes names the benchmark families the -baseline gate covers: the
 // end-to-end build path and the per-strategy serve path.
 var gatedPrefixes = []string{"PipelineRun/", "EngineAssociate/"}
+
+// allocGatedPrefixes names the families whose allocs/op is a hard ceiling:
+// the zero-alloc steady-state serve paths and Step 1 hashing.
+var allocGatedPrefixes = []string{"EngineAssociateSteady/", "EngineMatchSteady/", "PhashExtraction"}
+
+// steadyStrategies lists the index strategies whose steady-state serve path
+// is pinned to zero allocations (the flat BK-tree forms).
+func steadyStrategies() []memes.IndexStrategy {
+	return []memes.IndexStrategy{memes.IndexBKTree, memes.IndexSharded}
+}
 
 // validateLabel rejects labels that would escape the working directory when
 // interpolated into the BENCH_<label>.json output filename.
@@ -243,6 +277,130 @@ func (st *benchState) benchEngineAssociate(b *testing.B, strategy memes.IndexStr
 	b.StopTimer()
 	if secs := b.Elapsed().Seconds(); secs > 0 {
 		b.ReportMetric(float64(imagePosts)*float64(b.N)/secs, "images_per_sec")
+	}
+}
+
+// benchEngineAssociateSteady measures the serve path the way a resident
+// server runs it: AssociateAppend into a recycled caller-owned buffer, after
+// one warm-up pass has grown the buffer and seeded the query scratch pool.
+// Allocs/op is the gated quantity; throughput is informational.
+func (st *benchState) benchEngineAssociateSteady(b *testing.B, strategy memes.IndexStrategy) {
+	ctx := context.Background()
+	eng, err := memes.NewEngine(ctx, st.ds, st.site, memes.WithIndex(strategy))
+	if err != nil {
+		b.Fatal(err)
+	}
+	imagePosts := 0
+	for i := range st.ds.Posts {
+		if st.ds.Posts[i].HasImage {
+			imagePosts++
+		}
+	}
+	out, err := eng.AssociateAppend(ctx, st.ds.Posts, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err = eng.AssociateAppend(ctx, st.ds.Posts, out[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(imagePosts)*float64(b.N)/secs, "images_per_sec")
+	}
+}
+
+// benchEngineMatchSteady measures single-hash Match against annotated
+// medoids after one warm-up query has seeded the scratch pool; the steady
+// state must report zero allocs/op.
+func (st *benchState) benchEngineMatchSteady(b *testing.B, strategy memes.IndexStrategy) {
+	ctx := context.Background()
+	eng, err := memes.NewEngine(ctx, st.ds, st.site, memes.WithIndex(strategy))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var queries []memes.Hash
+	for _, c := range eng.Clusters() {
+		if c.Annotated() {
+			queries = append(queries, c.MedoidHash)
+		}
+	}
+	if len(queries) == 0 {
+		b.Fatal("no annotated clusters in bench corpus")
+	}
+	// Warm every query once: the pooled scratch grows to the largest result
+	// set before counting, so one-time growth never shows up as allocs/op.
+	for _, q := range queries {
+		if _, _, err := eng.Match(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.Match(ctx, queries[i%len(queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchEngineSnapshotLoad measures load-to-first-query: LoadEngineFile on a
+// saved snapshot of the given format version followed by one Match. The v2
+// point is the headline the flat format exists for.
+func (st *benchState) benchEngineSnapshotLoad(b *testing.B, version uint32) {
+	ctx := context.Background()
+	eng, err := memes.NewEngine(ctx, st.ds, st.site)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var query memes.Hash
+	found := false
+	for _, c := range eng.Clusters() {
+		if c.Annotated() {
+			query, found = c.MedoidHash, true
+			break
+		}
+	}
+	if !found {
+		b.Fatal("no annotated clusters in bench corpus")
+	}
+	dir, err := os.MkdirTemp("", "memebench-snap-")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, fmt.Sprintf("v%d.snap", version))
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.SaveVersion(f, version); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	// Drain garbage from the build and earlier benchmarks (and any mapped
+	// snapshots awaiting finalizers) so the timed loop measures the load,
+	// not a GC cycle over the whole process heap.
+	runtime.GC()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loaded, err := memes.LoadEngineFile(path, st.site)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := loaded.Match(ctx, query); err != nil {
+			b.Fatal(err)
+		}
+		if err := loaded.Close(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -10,7 +10,7 @@
 //
 //	memeserve -load engine.snap -in ./corpus [-addr :8080] [-index bktree|multiindex|sharded]
 //	          [-workers N] [-max-batch 256] [-drain 10s]
-//	          [-ingest-threshold N] [-delta-dir ./deltas]
+//	          [-ingest-threshold N] [-delta-dir ./deltas] [-compact-after N]
 //
 // -in names the corpus directory (written by memegen) whose annotation site
 // the snapshot's entries are resolved against — the same site the build
@@ -60,6 +60,7 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "connection-draining timeout on SIGTERM")
 	ingestThreshold := flag.Int("ingest-threshold", 0, "pending posts that trigger an incremental re-cluster; 0 disables POST /v1/ingest")
 	deltaDir := flag.String("delta-dir", "", "delta-journal directory for ingest persistence (empty = in-memory only)")
+	compactAfter := flag.Int("compact-after", 0, "sealed delta segments that trigger background compaction into a base snapshot (0 = default)")
 	flag.Parse()
 	if *load == "" {
 		log.Fatal("memeserve: -load is required (build a snapshot with memepipeline -save)")
@@ -93,25 +94,24 @@ func main() {
 		}
 	}
 
+	// LoadEngineFile mmaps flat (v2) snapshots and serves straight from the
+	// mapped bytes — the medoid index is loaded, not rebuilt, so reloads are
+	// page-cache-bound; v1 artifacts go through the streaming decoder.
 	loader := func() (*memes.Engine, error) {
-		f, err := os.Open(snapPath)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
 		opts := []memes.Option{memes.WithWorkers(*workers)}
 		if *indexStrategy != "" {
 			opts = append(opts, memes.WithIndex(memes.IndexStrategy(*indexStrategy)))
 		}
-		return memes.LoadEngine(f, site, opts...)
+		return memes.LoadEngineFile(snapPath, site, opts...)
 	}
 
 	cfg := server.Config{Loader: loader, MaxBatch: *maxBatch}
 	if *ingestThreshold > 0 {
 		cfg.Ingest = func(hot *memes.HotEngine) (*memes.Ingestor, error) {
 			return memes.NewIngestor(hot, ds, site, memes.IngestConfig{
-				Threshold: *ingestThreshold,
-				DeltaDir:  *deltaDir,
+				Threshold:    *ingestThreshold,
+				DeltaDir:     *deltaDir,
+				CompactAfter: *compactAfter,
 			})
 		}
 	}

@@ -182,6 +182,40 @@ func NewEngine(ctx context.Context, ds *Dataset, site *AnnotationSite, opts ...O
 // re-bound at load, a dataset optionally so).
 func (e *Engine) Save(w io.Writer) error { return e.build.Save(w) }
 
+// Snapshot format versions accepted by Engine.SaveVersion. Save always
+// writes SnapshotLatest; LoadEngine and LoadEngineFile read every version.
+const (
+	// SnapshotV1 is the original streaming varint format. The medoid index
+	// is rebuilt from the persisted medoids at load.
+	SnapshotV1 = pipeline.SnapshotV1
+	// SnapshotV2 is the flat offset-based format: fixed-width tables, one
+	// string arena, and the sealed medoid BK-tree serialized in array form,
+	// so LoadEngineFile can mmap the file and serve directly from the
+	// mapped bytes without rebuilding anything.
+	SnapshotV2 = pipeline.SnapshotV2
+	// SnapshotLatest is the version Engine.Save writes.
+	SnapshotLatest = pipeline.SnapshotLatest
+)
+
+// SaveVersion writes a snapshot in an explicit format version: SnapshotV1
+// for compatibility with readers predating the flat format, SnapshotV2 for
+// the mmap-ready layout Save defaults to. Both versions reconstitute
+// bitwise-identical engines.
+func (e *Engine) SaveVersion(w io.Writer, version uint32) error {
+	return e.build.SaveVersion(w, version)
+}
+
+// Close releases the snapshot memory mapping backing an engine returned by
+// LoadEngineFile, after which the engine must not serve further queries.
+// Closing is optional — an unclosed mapping is released by the garbage
+// collector once the engine is unreachable — and deliberately NOT wired
+// into the hot-swap path: an old generation may still be pinned by
+// in-flight requests when a new one activates, so HotEngine lets the
+// collector retire it. Close is for callers that churn through many loaded
+// engines and want the address space back deterministically. It is
+// idempotent, and a no-op for engines not backed by a mapping.
+func (e *Engine) Close() error { return e.build.Close() }
+
 // LoadEngine reads a snapshot written by Engine.Save and returns an Engine
 // serving queries against it, skipping the entire Steps 2-5 build. The
 // annotation site must carry the entries the snapshot references (use the
@@ -203,6 +237,37 @@ func LoadEngine(r io.Reader, site *AnnotationSite, opts ...Option) (*Engine, err
 		// Re-apply the options over the decoded snapshot configuration, so
 		// explicit overrides win and everything else keeps the build-time
 		// echo.
+		over := engineConfig{cfg: *cfg}
+		for _, opt := range opts {
+			opt(&over)
+		}
+		*cfg = over.cfg
+	}, ec.progress)
+	if err != nil {
+		return nil, err
+	}
+	if len(ec.deltas) > 0 {
+		b, err = replayDeltas(b, site, ec)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Engine{build: b}, nil
+}
+
+// LoadEngineFile is LoadEngine for a snapshot on disk. For a SnapshotV2
+// file it memory-maps the flat layout (falling back to a single read where
+// mmap is unavailable) and serves directly from the mapped bytes — the
+// medoid index is loaded, not rebuilt, so time-to-first-query is dominated
+// by the page cache rather than by tree construction. Older snapshot
+// versions are read through the same path LoadEngine uses. All LoadEngine
+// options apply, including WithDataset and WithDeltas.
+func LoadEngineFile(path string, site *AnnotationSite, opts ...Option) (*Engine, error) {
+	ec := engineConfig{cfg: DefaultPipelineConfig()}
+	for _, opt := range opts {
+		opt(&ec)
+	}
+	b, err := pipeline.LoadBuildFile(path, site, ec.ds, func(cfg *PipelineConfig) {
 		over := engineConfig{cfg: *cfg}
 		for _, opt := range opts {
 			opt(&over)
@@ -257,6 +322,17 @@ func replayDeltas(b *pipeline.BuildResult, site *AnnotationSite, ec engineConfig
 // out sorted by that index. Goroutine-safe; stops promptly on cancellation.
 func (e *Engine) Associate(ctx context.Context, posts []Post) ([]Association, error) {
 	return e.build.Associate(ctx, posts)
+}
+
+// AssociateAppend is Associate for callers that own the result buffer: it
+// appends the batch's associations to out and returns the extended slice,
+// allocating nothing in steady state when out has capacity (pass a slice
+// recycled with out[:0]). The associations are identical to Associate's for
+// the same batch. Goroutine-safe; stops promptly on cancellation.
+//
+//memes:noalloc
+func (e *Engine) AssociateAppend(ctx context.Context, posts []Post, out []Association) ([]Association, error) {
+	return e.build.AssociateAppend(ctx, posts, out)
 }
 
 // Match looks a single perceptual hash up against the annotated clusters.

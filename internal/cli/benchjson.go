@@ -85,14 +85,7 @@ func (d *BenchDoc) Bench(name string) (BenchJSON, bool) {
 func CompareBench(baseline, fresh *BenchDoc, prefixes []string, metric string, tolerance float64) []string {
 	var violations []string
 	for _, base := range baseline.Benchmarks {
-		gated := false
-		for _, p := range prefixes {
-			if strings.HasPrefix(base.Name, p) {
-				gated = true
-				break
-			}
-		}
-		if !gated {
+		if !gatedBy(base.Name, prefixes) {
 			continue
 		}
 		want, ok := base.Metrics[metric]
@@ -114,4 +107,44 @@ func CompareBench(baseline, fresh *BenchDoc, prefixes []string, metric string, t
 		}
 	}
 	return violations
+}
+
+// CompareBenchAllocs gates allocation counts the opposite way round from
+// CompareBench: allocs_per_op is a ceiling, not a floor. For every baseline
+// benchmark whose name starts with one of prefixes, the fresh run must report
+// at most floor(baseline × (1+tolerance)) allocs/op. A baseline of 0 therefore
+// pins the fresh run to exactly 0 — tolerance cannot loosen a zero-alloc
+// invariant, which is the point: once a path reaches the steady state it must
+// never allocate again. A gated benchmark missing from the fresh run is a
+// violation (silently dropping the benchmark must not pass the gate).
+func CompareBenchAllocs(baseline, fresh *BenchDoc, prefixes []string, tolerance float64) []string {
+	var violations []string
+	for _, base := range baseline.Benchmarks {
+		if !gatedBy(base.Name, prefixes) {
+			continue
+		}
+		got, ok := fresh.Bench(base.Name)
+		if !ok {
+			violations = append(violations,
+				fmt.Sprintf("%s: present in baseline %q but missing from fresh run %q", base.Name, baseline.Label, fresh.Label))
+			continue
+		}
+		ceiling := int64(float64(base.AllocsPerOp) * (1 + tolerance))
+		if got.AllocsPerOp > ceiling {
+			violations = append(violations,
+				fmt.Sprintf("%s: allocs_per_op grew %d -> %d (ceiling %d at tolerance %.0f%%)",
+					base.Name, base.AllocsPerOp, got.AllocsPerOp, ceiling, 100*tolerance))
+		}
+	}
+	return violations
+}
+
+// gatedBy reports whether name falls under any of the gate prefixes.
+func gatedBy(name string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
 }

@@ -81,3 +81,74 @@ func TestCompareBenchZeroTolerance(t *testing.T) {
 		t.Fatalf("zero tolerance should flag any dip: %v", v)
 	}
 }
+
+// allocDocs builds a baseline/fresh pair for the allocation-ceiling gate:
+// two zero-alloc steady-state benchmarks and one non-zero baseline.
+func allocDocs() (baseline, fresh *BenchDoc) {
+	baseline = &BenchDoc{Label: "pr8", Benchmarks: []BenchJSON{
+		{Name: "EngineAssociateSteady/bktree", AllocsPerOp: 0},
+		{Name: "EngineMatchSteady/bktree", AllocsPerOp: 0},
+		{Name: "PhashExtraction", AllocsPerOp: 0},
+		{Name: "PipelineRun/workers_1", AllocsPerOp: 120000},
+	}}
+	fresh = &BenchDoc{Label: "ci", Benchmarks: []BenchJSON{
+		{Name: "EngineAssociateSteady/bktree", AllocsPerOp: 0},
+		{Name: "EngineMatchSteady/bktree", AllocsPerOp: 0},
+		{Name: "PhashExtraction", AllocsPerOp: 0},
+		{Name: "PipelineRun/workers_1", AllocsPerOp: 360000},
+	}}
+	return baseline, fresh
+}
+
+var allocGatePrefixes = []string{"EngineAssociateSteady/", "EngineMatchSteady/", "PhashExtraction"}
+
+func TestCompareBenchAllocsPasses(t *testing.T) {
+	baseline, fresh := allocDocs()
+	if v := CompareBenchAllocs(baseline, fresh, allocGatePrefixes, 0.30); len(v) != 0 {
+		t.Fatalf("identical alloc counts flagged: %v", v)
+	}
+}
+
+func TestCompareBenchAllocsZeroBaselinePinsZero(t *testing.T) {
+	baseline, fresh := allocDocs()
+	// A single allocation on a zero-alloc path must fail regardless of
+	// tolerance: 0 × (1+tol) is still 0.
+	fresh.Benchmarks[1].AllocsPerOp = 1
+	v := CompareBenchAllocs(baseline, fresh, allocGatePrefixes, 0.30)
+	if len(v) != 1 {
+		t.Fatalf("violations = %v, want exactly one", v)
+	}
+	if !strings.Contains(v[0], "EngineMatchSteady/bktree") || !strings.Contains(v[0], "grew") {
+		t.Fatalf("violation does not name the regressed benchmark: %q", v[0])
+	}
+}
+
+func TestCompareBenchAllocsToleratesWithinCeiling(t *testing.T) {
+	baseline, fresh := allocDocs()
+	baseline.Benchmarks[2].AllocsPerOp = 10
+	fresh.Benchmarks[2].AllocsPerOp = 13 // ceiling at 30% is exactly 13
+	if v := CompareBenchAllocs(baseline, fresh, allocGatePrefixes, 0.30); len(v) != 0 {
+		t.Fatalf("within-ceiling growth flagged: %v", v)
+	}
+	fresh.Benchmarks[2].AllocsPerOp = 14
+	if v := CompareBenchAllocs(baseline, fresh, allocGatePrefixes, 0.30); len(v) != 1 {
+		t.Fatalf("above-ceiling growth not flagged: %v", v)
+	}
+}
+
+func TestCompareBenchAllocsFlagsMissingGatedBenchmark(t *testing.T) {
+	baseline, fresh := allocDocs()
+	fresh.Benchmarks = fresh.Benchmarks[1:] // drop EngineAssociateSteady/bktree
+	v := CompareBenchAllocs(baseline, fresh, allocGatePrefixes, 0.30)
+	if len(v) != 1 || !strings.Contains(v[0], "missing") {
+		t.Fatalf("missing gated benchmark not flagged: %v", v)
+	}
+}
+
+func TestCompareBenchAllocsIgnoresUngated(t *testing.T) {
+	baseline, fresh := allocDocs()
+	// PipelineRun triples its allocations but is outside the alloc gate.
+	if v := CompareBenchAllocs(baseline, fresh, allocGatePrefixes, 0.30); len(v) != 0 {
+		t.Fatalf("ungated benchmark flagged: %v", v)
+	}
+}

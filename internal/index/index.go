@@ -67,6 +67,25 @@ type CtxQuerier interface {
 	RadiusCtx(ctx context.Context, q phash.Hash, radius int) ([]phash.Match, error)
 }
 
+// Sealer is implemented by indexes that can compile themselves into an
+// immutable, query-optimised form once all inserts are done (BKTree and
+// ShardedBK flatten their pointer trees into contiguous arrays). The
+// pipeline calls Seal after the last Insert; sealing must not change any
+// query result — bitwise-identical output is part of the contract. Insert
+// after Seal may panic.
+type Sealer interface {
+	Seal()
+}
+
+// ScratchQuerier is implemented by indexes that can answer radius queries
+// through caller-owned scratch, allocating nothing in steady state. The
+// returned slice aliases s and is valid until the next query through the
+// same scratch. RadiusScratch must return the same matches in the same
+// order as Radius.
+type ScratchQuerier interface {
+	RadiusScratch(q phash.Hash, radius int, s *phash.Scratch) []phash.Match
+}
+
 // Strategy names a registered MedoidIndex implementation. The zero value
 // selects the default strategy.
 type Strategy string
@@ -98,6 +117,13 @@ var (
 	_ WorkerBound = (*ShardedBK)(nil)
 	_ CtxQuerier  = (*phash.MultiIndex)(nil)
 	_ CtxQuerier  = (*ShardedBK)(nil)
+
+	// The tree-backed strategies additionally seal into flat arrays and
+	// serve the zero-allocation scratch query path.
+	_ Sealer         = (*phash.BKTree)(nil)
+	_ Sealer         = (*ShardedBK)(nil)
+	_ ScratchQuerier = (*phash.BKTree)(nil)
+	_ ScratchQuerier = (*ShardedBK)(nil)
 )
 
 var (

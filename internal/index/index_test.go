@@ -93,12 +93,51 @@ func checkEquivalence(t *testing.T, hashes []phash.Hash, ids []int64, q phash.Ha
 		if idx.Len() != len(hashes) {
 			t.Fatalf("%s: Len = %d, want %d", s, idx.Len(), len(hashes))
 		}
-		got := canonical(t, q, radius, idx.Radius(q, radius))
+		raw := idx.Radius(q, radius)
+		got := canonical(t, q, radius, raw)
 		if !reflect.DeepEqual(got, want) {
 			t.Errorf("%s: Radius(%v, %d) diverges from linear scan: got %d hashes, want %d",
 				s, q, radius, len(got), len(want))
 		}
+		checkSealedEquivalence(t, s, idx, q, radius, raw)
 	}
+}
+
+// checkSealedEquivalence seals the index (when the strategy supports it) and
+// asserts the flat form serves the exact same bytes — same matches, same
+// order — through both the allocating Radius and the scratch path. This is
+// the compilation invariant the zero-copy snapshot path rests on.
+func checkSealedEquivalence(t *testing.T, s Strategy, idx MedoidIndex, q phash.Hash, radius int, want []phash.Match) {
+	t.Helper()
+	sealer, ok := idx.(Sealer)
+	if !ok {
+		return
+	}
+	sealer.Seal()
+	if got := idx.Radius(q, radius); !matchesEqual(got, want) {
+		t.Errorf("%s: sealed Radius(%v, %d) is not bitwise identical to unsealed", s, q, radius)
+	}
+	if sq, ok := idx.(ScratchQuerier); ok {
+		var sc phash.Scratch
+		if got := sq.RadiusScratch(q, radius, &sc); !matchesEqual(got, want) {
+			t.Errorf("%s: RadiusScratch(%v, %d) is not bitwise identical to Radius", s, q, radius)
+		}
+	}
+}
+
+// matchesEqual compares two radius results including order, treating nil and
+// empty as equal (the scratch path returns an empty reused buffer where the
+// allocating path returns nil).
+func matchesEqual(a, b []phash.Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Hash != b[i].Hash || a[i].Distance != b[i].Distance || !reflect.DeepEqual(a[i].IDs, b[i].IDs) {
+			return false
+		}
+	}
+	return true
 }
 
 // TestRadiusEquivalenceProperty is the refactor's correctness boundary: for
@@ -137,32 +176,41 @@ func TestNearestEquivalence(t *testing.T) {
 		for i, h := range hashes {
 			idx.Insert(h, ids[i])
 		}
-		for trial := 0; trial < 40; trial++ {
-			// Alternate far-off random queries with perturbed stored hashes
-			// (the latter make same-distance ties likely in the
-			// near-duplicate families).
-			q := phash.Hash(rng.Uint64())
-			if trial%2 == 0 {
-				q = hashes[rng.Intn(len(hashes))]
-				for _, bit := range rng.Perm(64)[:1+rng.Intn(4)] {
-					q ^= 1 << uint(bit)
+		checkNearest := func(label string) {
+			trialRng := rand.New(rand.NewSource(42 ^ int64(len(hashes))))
+			for trial := 0; trial < 40; trial++ {
+				// Alternate far-off random queries with perturbed stored hashes
+				// (the latter make same-distance ties likely in the
+				// near-duplicate families).
+				q := phash.Hash(trialRng.Uint64())
+				if trial%2 == 0 {
+					q = hashes[trialRng.Intn(len(hashes))]
+					for _, bit := range trialRng.Perm(64)[:1+trialRng.Intn(4)] {
+						q ^= 1 << uint(bit)
+					}
+				}
+				m, ok := idx.Nearest(q)
+				if !ok {
+					t.Fatalf("%s/%s: Nearest returned not found on non-empty index", s, label)
+				}
+				bestDist := phash.MaxDistance + 1
+				var bestHash phash.Hash
+				for _, h := range hashes {
+					if d := phash.Distance(h, q); d < bestDist || (d == bestDist && h < bestHash) {
+						bestDist, bestHash = d, h
+					}
+				}
+				if m.Distance != bestDist || m.Hash != bestHash {
+					t.Fatalf("%s/%s: Nearest = (%v, %d), linear scan says (%v, %d)",
+						s, label, m.Hash, m.Distance, bestHash, bestDist)
 				}
 			}
-			m, ok := idx.Nearest(q)
-			if !ok {
-				t.Fatalf("%s: Nearest returned not found on non-empty index", s)
-			}
-			bestDist := phash.MaxDistance + 1
-			var bestHash phash.Hash
-			for _, h := range hashes {
-				if d := phash.Distance(h, q); d < bestDist || (d == bestDist && h < bestHash) {
-					bestDist, bestHash = d, h
-				}
-			}
-			if m.Distance != bestDist || m.Hash != bestHash {
-				t.Fatalf("%s: Nearest = (%v, %d), linear scan says (%v, %d)",
-					s, m.Hash, m.Distance, bestHash, bestDist)
-			}
+		}
+		checkNearest("unsealed")
+		// The sealed form must elect the identical deterministic winner.
+		if sealer, ok := idx.(Sealer); ok {
+			sealer.Seal()
+			checkNearest("sealed")
 		}
 	}
 }
@@ -184,26 +232,34 @@ func TestWalkVisitsEveryDistinctHash(t *testing.T) {
 		for i, h := range hashes {
 			idx.Insert(h, ids[i])
 		}
-		seen := make(map[phash.Hash]int)
-		idx.Walk(func(h phash.Hash, ids []int64) bool {
-			seen[h] += len(ids)
-			return true
-		})
-		if len(seen) != len(distinct) {
-			t.Fatalf("%s: walk visited %d distinct hashes, want %d", s, len(seen), len(distinct))
-		}
-		for h, n := range distinct {
-			if seen[h] != n {
-				t.Fatalf("%s: walk saw %d IDs for %v, want %d", s, seen[h], h, n)
+		checkWalk := func(label string) {
+			seen := make(map[phash.Hash]int)
+			idx.Walk(func(h phash.Hash, ids []int64) bool {
+				seen[h] += len(ids)
+				return true
+			})
+			if len(seen) != len(distinct) {
+				t.Fatalf("%s/%s: walk visited %d distinct hashes, want %d", s, label, len(seen), len(distinct))
+			}
+			for h, n := range distinct {
+				if seen[h] != n {
+					t.Fatalf("%s/%s: walk saw %d IDs for %v, want %d", s, label, seen[h], h, n)
+				}
+			}
+			stops := 0
+			idx.Walk(func(phash.Hash, []int64) bool {
+				stops++
+				return stops < 3
+			})
+			if stops != 3 {
+				t.Fatalf("%s/%s: early stop visited %d, want 3", s, label, stops)
 			}
 		}
-		stops := 0
-		idx.Walk(func(phash.Hash, []int64) bool {
-			stops++
-			return stops < 3
-		})
-		if stops != 3 {
-			t.Fatalf("%s: early stop visited %d, want 3", s, stops)
+		checkWalk("unsealed")
+		// The sealed form must cover the identical distinct-hash set.
+		if sealer, ok := idx.(Sealer); ok {
+			sealer.Seal()
+			checkWalk("sealed")
 		}
 	}
 }
@@ -309,8 +365,10 @@ func TestShardedRadiusDeterministic(t *testing.T) {
 }
 
 // FuzzRadiusEquivalence drives the same property as the seeded test from
-// the fuzzer: any (seed, query, radius) triple must see all strategies agree
-// with the linear scan.
+// the fuzzer, now across both tree forms: any (seed, query, radius) triple
+// must see every strategy agree with the linear scan, and the sealed flat
+// form of each strategy must serve bitwise-identical Radius output, the same
+// Nearest winner, and the same Walk coverage as its pointer form.
 func FuzzRadiusEquivalence(f *testing.F) {
 	f.Add(int64(1), uint64(0x55352b0b8d8b5b53), 8)
 	f.Add(int64(2), uint64(0), 0)
@@ -331,16 +389,54 @@ func FuzzRadiusEquivalence(f *testing.F) {
 			for i, h := range hashes {
 				idx.Insert(h, ids[i])
 			}
-			got := canonical(t, q, radius, idx.Radius(q, radius))
+			raw := idx.Radius(q, radius)
+			got := canonical(t, q, radius, raw)
 			if radius < 0 {
 				if len(got) != 0 {
 					t.Fatalf("%s: negative radius returned matches", s)
 				}
+			} else if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: Radius(%x, %d) diverges from linear scan", s, query, radius)
+			}
+			pointerNearest, pointerOK := idx.Nearest(q)
+			pointerWalk := walkSet(idx)
+
+			sealer, ok := idx.(Sealer)
+			if !ok {
 				continue
 			}
-			if !reflect.DeepEqual(got, want) {
-				t.Fatalf("%s: Radius(%x, %d) diverges from linear scan", s, query, radius)
+			sealer.Seal()
+			if sealedRaw := idx.Radius(q, radius); !matchesEqual(sealedRaw, raw) {
+				t.Fatalf("%s: sealed Radius(%x, %d) not bitwise identical to pointer form", s, query, radius)
+			}
+			if sq, ok := idx.(ScratchQuerier); ok {
+				var sc phash.Scratch
+				if scratchRaw := sq.RadiusScratch(q, radius, &sc); !matchesEqual(scratchRaw, raw) {
+					t.Fatalf("%s: RadiusScratch(%x, %d) not bitwise identical to pointer form", s, query, radius)
+				}
+			}
+			sealedNearest, sealedOK := idx.Nearest(q)
+			if pointerOK != sealedOK || pointerNearest.Hash != sealedNearest.Hash || pointerNearest.Distance != sealedNearest.Distance {
+				t.Fatalf("%s: sealed Nearest(%x) = (%v,%v), pointer form = (%v,%v)",
+					s, query, sealedNearest, sealedOK, pointerNearest, pointerOK)
+			}
+			if sealedWalk := walkSet(idx); !reflect.DeepEqual(sealedWalk, pointerWalk) {
+				t.Fatalf("%s: sealed Walk covers %d hashes, pointer form %d", s, len(sealedWalk), len(pointerWalk))
 			}
 		}
 	})
+}
+
+// walkSet canonicalises Walk output to distinct hash → sorted IDs.
+func walkSet(idx MedoidIndex) map[phash.Hash][]int64 {
+	out := make(map[phash.Hash][]int64)
+	idx.Walk(func(h phash.Hash, ids []int64) bool {
+		out[h] = append(out[h], ids...)
+		return true
+	})
+	for h := range out {
+		l := out[h]
+		sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
+	}
+	return out
 }

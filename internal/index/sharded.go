@@ -89,6 +89,36 @@ func (s *ShardedBK) Insert(h phash.Hash, id int64) {
 	s.shards[s.shardOf(h)].Insert(h, id)
 }
 
+// Seal compiles every shard's pointer tree into its flat array form (see
+// phash.FlatBK). Queries after Seal traverse the contiguous arrays; Insert
+// panics. Shard assignment and per-shard result order are unchanged, so
+// sealed query output is bitwise identical.
+func (s *ShardedBK) Seal() {
+	for _, sh := range s.shards {
+		sh.Seal()
+	}
+}
+
+// RadiusScratch answers a radius query through caller-owned scratch,
+// walking the shards sequentially and accumulating into one result buffer.
+// The concatenation order is shard order — identical to RadiusCtx — so the
+// scratch path serves the same bytes as the allocating path. Sequential
+// per-shard search trades the fan-out parallelism for a zero-allocation
+// steady state; Associate-style callers recover parallelism across posts
+// instead of within one query.
+//
+//memes:noalloc
+func (s *ShardedBK) RadiusScratch(q phash.Hash, radius int, sc *phash.Scratch) []phash.Match {
+	sc.Reset()
+	if s.size == 0 || radius < 0 {
+		return sc.Out()
+	}
+	for _, sh := range s.shards {
+		sh.AppendRadius(q, radius, sc)
+	}
+	return sc.Out()
+}
+
 // Radius returns all stored hashes within Hamming distance radius of q. It
 // is RadiusCtx without cancellation.
 func (s *ShardedBK) Radius(q phash.Hash, radius int) []phash.Match {

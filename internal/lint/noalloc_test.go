@@ -5,3 +5,12 @@ import "testing"
 func TestNoAlloc(t *testing.T) {
 	RunAnalyzerTest(t, NoAlloc, "example.com/memes/internal/hot")
 }
+
+// TestNoAllocFlatQuery runs the analyzer over the flat-index serve-path
+// fixture: the pooled-scratch traversal idioms the real flat BK query uses
+// must pass clean, their alloc-forcing variants must be flagged, and the
+// unannotated cold-path wrapper must be skipped (the annotation is the
+// scope gate — only code claiming the zero-alloc invariant is held to it).
+func TestNoAllocFlatQuery(t *testing.T) {
+	RunAnalyzerTest(t, NoAlloc, "example.com/memes/internal/flatquery")
+}

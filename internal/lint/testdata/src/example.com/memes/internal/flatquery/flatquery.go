@@ -1,0 +1,114 @@
+// Package flatquery is the noalloc fixture for the flat-index serve path:
+// the pointer-free BK traversal idioms the real query path uses — pooled
+// scratch structs, LIFO stacks appended through struct fields, arena
+// subslicing — must pass the analyzer clean, while the alloc-forcing
+// shortcuts they replaced (fresh scratch per query, make'd stacks, locals
+// with no preallocated root, boxed trace values) are flagged.
+package flatquery
+
+import "sync"
+
+type match struct {
+	hash uint64
+	dist int
+	ids  []int64
+}
+
+// scratch is the per-query buffer set: recycled through a pool so the
+// steady state appends into storage that predates the call.
+type scratch struct {
+	stack []uint32
+	out   []match
+}
+
+// flatTree mirrors the flat BK layout: pointer-free nodes, child spans as
+// index ranges, IDs in one arena.
+type flatTree struct {
+	hashes     []uint64
+	childStart []uint32
+	dists      []uint8
+	idStart    []uint32
+	ids        []int64
+}
+
+func distance(a, b uint64) int {
+	n := 0
+	for x := a ^ b; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+//memes:noalloc
+func (f *flatTree) appendRadius(q uint64, radius int, s *scratch) {
+	if len(f.hashes) == 0 || radius < 0 {
+		return
+	}
+	s.stack = append(s.stack[:0], 0) // ok: field-rooted append reuses pooled capacity
+	for len(s.stack) > 0 {
+		n := s.stack[len(s.stack)-1]
+		s.stack = s.stack[:len(s.stack)-1]
+		d := distance(q, f.hashes[n])
+		if d <= radius {
+			// ok: struct literal into a field-rooted append; the IDs slice
+			// is a subslice of the arena, not a fresh backing array.
+			s.out = append(s.out, match{hash: f.hashes[n], dist: d, ids: f.ids[f.idStart[n]:f.idStart[n+1]]})
+		}
+		lo, hi := d-radius, d+radius
+		for c := f.childStart[n]; c < f.childStart[n+1]; c++ {
+			if cd := int(f.dists[c]); cd >= lo && cd <= hi {
+				s.stack = append(s.stack, c) // ok: field-rooted
+			}
+		}
+	}
+}
+
+var pool = sync.Pool{New: func() any { return new(scratch) }}
+
+//memes:noalloc
+func query(f *flatTree, q uint64, radius int) int {
+	s := pool.Get().(*scratch) // ok: pointer-shaped assertion, no box
+	s.out = s.out[:0]
+	f.appendRadius(q, radius, s)
+	n := len(s.out)
+	pool.Put(s) // ok: pointers box without allocating
+	return n
+}
+
+//memes:noalloc
+func queryFresh(f *flatTree, q uint64, radius int) []match {
+	s := &scratch{} // want "&composite-literal inside //memes:noalloc function queryFresh escapes"
+	f.appendRadius(q, radius, s)
+	return s.out
+}
+
+//memes:noalloc
+func queryGrow(f *flatTree, q uint64) []uint32 {
+	stack := make([]uint32, 1, 64) // want "make inside //memes:noalloc function queryGrow allocates"
+	stack[0] = 0
+	return stack
+}
+
+//memes:noalloc
+func queryLocalStack(f *flatTree) int {
+	var stack []uint32
+	stack = append(stack, 0) // want "append to a slice not rooted"
+	return len(stack)
+}
+
+func record(v any) { _ = v }
+
+//memes:noalloc
+func queryTrace(q uint64) {
+	record(q) // want "boxes the value on the heap"
+}
+
+// radius is the cold-path wrapper pattern: unannotated, so its fresh
+// scratch is legitimate — one allocation per call by design.
+func radius(f *flatTree, q uint64, r int) []match {
+	var s scratch
+	f.appendRadius(q, r, &s)
+	return s.out
+}
+
+var _ = []any{query, queryFresh, queryGrow, queryLocalStack, queryTrace, radius}

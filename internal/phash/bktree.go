@@ -16,6 +16,10 @@ type BKTree struct {
 	root *bkNode
 	size int // number of (hash, id) pairs inserted
 	keys int // number of distinct hashes
+
+	// flat, when non-nil, is the sealed array-backed form; the pointer tree
+	// has been dropped and all queries run against the flat arrays.
+	flat *FlatBK
 }
 
 // bkChild is one edge of the tree: the child subtree rooted at Hamming
@@ -50,6 +54,32 @@ func NewBKTree() *BKTree {
 	return &BKTree{}
 }
 
+// NewSealedBKTree wraps an already-compiled flat tree (typically one
+// reconstituted from a MEMESNAP v2 snapshot) as a sealed BKTree: queries are
+// served straight from the flat arrays and Insert panics.
+func NewSealedBKTree(f *FlatBK) *BKTree {
+	return &BKTree{flat: f, size: f.Len(), keys: f.Keys()}
+}
+
+// Seal compiles the pointer tree into its contiguous array-backed form and
+// drops the pointer nodes. After Seal, queries traverse the flat arrays
+// (bitwise-identical Radius result order, per the compilation invariant),
+// the zero-allocation scratch query path becomes available, and Insert
+// panics. Sealing an already-sealed tree is a no-op.
+func (t *BKTree) Seal() {
+	if t.flat != nil {
+		return
+	}
+	t.flat = compileFlat(t.root, t.keys, t.size)
+	t.root = nil
+}
+
+// Sealed reports whether the tree has been compiled to its flat form.
+func (t *BKTree) Sealed() bool { return t.flat != nil }
+
+// Flat returns the sealed array-backed form, or nil before Seal.
+func (t *BKTree) Flat() *FlatBK { return t.flat }
+
 // Len returns the number of (hash, id) pairs inserted.
 func (t *BKTree) Len() int { return t.size }
 
@@ -59,6 +89,9 @@ func (t *BKTree) Keys() int { return t.keys }
 // Insert adds a hash with an associated item identifier. Duplicate hashes are
 // merged into the existing node.
 func (t *BKTree) Insert(h Hash, id int64) {
+	if t.flat != nil {
+		panic("phash: Insert into sealed BKTree")
+	}
 	t.size++
 	if t.root == nil {
 		t.root = &bkNode{hash: h, ids: []int64{id}}
@@ -96,6 +129,9 @@ type Match struct {
 // sequence: the traversal follows the insertion-ordered child slices, never
 // a map.
 func (t *BKTree) Radius(q Hash, radius int) []Match {
+	if t.flat != nil {
+		return t.flat.Radius(q, radius)
+	}
 	if t.root == nil || radius < 0 {
 		return nil
 	}
@@ -123,6 +159,9 @@ func (t *BKTree) Radius(q Hash, radius int) []Match {
 // distance are broken by the lowest hash value, so the result never depends
 // on traversal order — the determinism contract every index strategy shares.
 func (t *BKTree) Nearest(q Hash) (Match, bool) {
+	if t.flat != nil {
+		return t.flat.Nearest(q)
+	}
 	if t.root == nil {
 		return Match{}, false
 	}
@@ -148,9 +187,39 @@ func (t *BKTree) Nearest(q Hash) (Match, bool) {
 	return best, true
 }
 
+// RadiusScratch answers a radius query through caller-owned scratch: the
+// candidate stack and result buffer live in s and are reused across calls,
+// so the steady state allocates nothing. Requires a sealed tree; before
+// Seal it falls back to the allocating Radius (cold path only — the serve
+// path always seals).
+//
+//memes:noalloc
+func (t *BKTree) RadiusScratch(q Hash, radius int, s *Scratch) []Match {
+	s.Reset()
+	t.AppendRadius(q, radius, s)
+	return s.Out()
+}
+
+// AppendRadius appends radius-query matches to s.out without resetting it,
+// letting ShardedBK accumulate one result set across shards. Falls back to
+// the allocating path on an unsealed tree.
+//
+//memes:noalloc
+func (t *BKTree) AppendRadius(q Hash, radius int, s *Scratch) {
+	if t.flat != nil {
+		t.flat.appendRadius(q, radius, s)
+		return
+	}
+	s.out = append(s.out, t.Radius(q, radius)...)
+}
+
 // Walk visits every distinct hash stored in the tree in unspecified order.
 // Returning false from fn stops the walk early.
 func (t *BKTree) Walk(fn func(h Hash, ids []int64) bool) {
+	if t.flat != nil {
+		t.flat.Walk(fn)
+		return
+	}
 	if t.root == nil {
 		return
 	}

@@ -1,0 +1,210 @@
+package phash
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// flatCorpus builds a pointer tree plus a parallel (hash, id) log from a
+// corpus with near-duplicate families and exact duplicates — the same shape
+// the medoid index sees.
+func flatCorpus(rng *rand.Rand, n int) *BKTree {
+	t := NewBKTree()
+	base := Hash(rng.Uint64())
+	for i := 0; i < n; i++ {
+		var h Hash
+		switch i % 4 {
+		case 0:
+			h = Hash(rng.Uint64())
+		case 1:
+			h = base ^ Hash(uint64(1)<<uint(rng.Intn(64)))
+		case 2:
+			h = base
+		default:
+			h = Hash(rng.Uint64()) & base
+		}
+		t.Insert(h, int64(i))
+	}
+	return t
+}
+
+// TestSealedRadiusBitwiseIdentical is the core compilation invariant: for
+// the same insert sequence, the sealed tree's Radius output — values AND
+// order — is identical to the pointer tree's, at every radius.
+func TestSealedRadiusBitwiseIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	pointer := flatCorpus(rng, 400)
+	sealed := flatCorpus(rand.New(rand.NewSource(42)), 400)
+	sealed.Seal()
+	if !sealed.Sealed() {
+		t.Fatal("Seal did not seal")
+	}
+	if sealed.Len() != pointer.Len() || sealed.Keys() != pointer.Keys() {
+		t.Fatalf("sealed Len/Keys = %d/%d, pointer = %d/%d", sealed.Len(), sealed.Keys(), pointer.Len(), pointer.Keys())
+	}
+	for trial := 0; trial < 200; trial++ {
+		q := Hash(rng.Uint64())
+		for _, radius := range []int{0, 1, 2, 5, 12, 30, 64} {
+			want := pointer.Radius(q, radius)
+			got := sealed.Radius(q, radius)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("radius %d query %#x: sealed result diverges\n want %v\n  got %v", radius, q, want, got)
+			}
+		}
+	}
+}
+
+// TestSealedNearestAndWalk checks the remaining query surface: Nearest must
+// agree exactly (same lowest-hash tie-break) and Walk must visit the same
+// distinct-hash set with the same ID multisets.
+func TestSealedNearestAndWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pointer := flatCorpus(rng, 300)
+	sealed := flatCorpus(rand.New(rand.NewSource(7)), 300)
+	sealed.Seal()
+
+	for trial := 0; trial < 200; trial++ {
+		q := Hash(rng.Uint64())
+		wm, wok := pointer.Nearest(q)
+		gm, gok := sealed.Nearest(q)
+		if wok != gok || wm.Hash != gm.Hash || wm.Distance != gm.Distance {
+			t.Fatalf("Nearest(%#x): pointer (%v,%v) vs sealed (%v,%v)", q, wm, wok, gm, gok)
+		}
+		if !reflect.DeepEqual(wm.IDs, gm.IDs) {
+			t.Fatalf("Nearest(%#x) IDs diverge: %v vs %v", q, wm.IDs, gm.IDs)
+		}
+	}
+
+	want := map[Hash][]int64{}
+	pointer.Walk(func(h Hash, ids []int64) bool { want[h] = append([]int64(nil), ids...); return true })
+	got := map[Hash][]int64{}
+	sealed.Walk(func(h Hash, ids []int64) bool { got[h] = append([]int64(nil), ids...); return true })
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("Walk sets diverge: %d vs %d keys", len(want), len(got))
+	}
+
+	// Early stop still stops.
+	n := 0
+	sealed.Walk(func(Hash, []int64) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early-stopped Walk visited %d nodes, want 3", n)
+	}
+}
+
+// TestSealedInsertPanics pins the immutability contract.
+func TestSealedInsertPanics(t *testing.T) {
+	tree := NewBKTree()
+	tree.Insert(1, 1)
+	tree.Seal()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Insert into sealed tree did not panic")
+		}
+	}()
+	tree.Insert(2, 2)
+}
+
+// TestFlatRoundTripThroughData pins the serialisation path: Data() arrays
+// fed back through NewFlatBK must reproduce identical query results.
+func TestFlatRoundTripThroughData(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	tree := flatCorpus(rng, 250)
+	tree.Seal()
+	f := tree.Flat()
+	hashes, childStart, dists, idStart, ids := f.Data()
+	f2, err := NewFlatBK(hashes, childStart, dists, idStart, ids)
+	if err != nil {
+		t.Fatalf("NewFlatBK rejected its own Data(): %v", err)
+	}
+	re := NewSealedBKTree(f2)
+	for trial := 0; trial < 100; trial++ {
+		q := Hash(rng.Uint64())
+		if !reflect.DeepEqual(tree.Radius(q, 12), re.Radius(q, 12)) {
+			t.Fatalf("round-tripped flat tree diverges on query %#x", q)
+		}
+	}
+}
+
+// TestNewFlatBKRejectsMalformed drives the validator with structurally
+// broken arrays; every case must be rejected, never panic or loop.
+func TestNewFlatBKRejectsMalformed(t *testing.T) {
+	tree := flatCorpus(rand.New(rand.NewSource(3)), 60)
+	tree.Seal()
+	hashes, childStart, dists, idStart, ids := tree.Flat().Data()
+	clone32 := func(s []uint32) []uint32 { return append([]uint32(nil), s...) }
+
+	cases := []struct {
+		name string
+		mut  func() (h []Hash, cs []uint32, d []uint8, is []uint32, id []int64)
+	}{
+		{"short childStart", func() ([]Hash, []uint32, []uint8, []uint32, []int64) {
+			return hashes, childStart[:len(childStart)-1], dists, idStart, ids
+		}},
+		{"short dists", func() ([]Hash, []uint32, []uint8, []uint32, []int64) {
+			return hashes, childStart, dists[:len(dists)-1], idStart, ids
+		}},
+		{"self-loop child span", func() ([]Hash, []uint32, []uint8, []uint32, []int64) {
+			cs := clone32(childStart)
+			cs[1] = 1 // node 1's children would include node 1 ⇒ non-BFS
+			return hashes, cs, dists, idStart, ids
+		}},
+		{"uncovered nodes", func() ([]Hash, []uint32, []uint8, []uint32, []int64) {
+			cs := clone32(childStart)
+			cs[len(cs)-1]++
+			return hashes, cs, dists, idStart, ids
+		}},
+		{"empty id span", func() ([]Hash, []uint32, []uint8, []uint32, []int64) {
+			is := clone32(idStart)
+			is[1] = is[0]
+			return hashes, childStart, dists, is, ids
+		}},
+		{"id overflow", func() ([]Hash, []uint32, []uint8, []uint32, []int64) {
+			return hashes, childStart, dists, idStart, ids[:len(ids)-1]
+		}},
+		{"zero edge distance", func() ([]Hash, []uint32, []uint8, []uint32, []int64) {
+			d := append([]uint8(nil), dists...)
+			d[1] = 0
+			return hashes, childStart, d, idStart, ids
+		}},
+		{"oversized edge distance", func() ([]Hash, []uint32, []uint8, []uint32, []int64) {
+			d := append([]uint8(nil), dists...)
+			d[1] = MaxDistance + 1
+			return hashes, childStart, d, idStart, ids
+		}},
+		{"ids without nodes", func() ([]Hash, []uint32, []uint8, []uint32, []int64) {
+			return nil, nil, nil, nil, ids
+		}},
+	}
+	for _, tc := range cases {
+		h, cs, d, is, id := tc.mut()
+		if _, err := NewFlatBK(h, cs, d, is, id); err == nil {
+			t.Errorf("%s: NewFlatBK accepted malformed arrays", tc.name)
+		}
+	}
+}
+
+// TestRadiusScratchZeroAlloc pins the tentpole: a sealed radius query
+// through reused scratch allocates nothing in steady state.
+func TestRadiusScratchZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tree := flatCorpus(rng, 500)
+	tree.Seal()
+	var s Scratch
+	queries := make([]Hash, 64)
+	for i := range queries {
+		queries[i] = Hash(rng.Uint64())
+	}
+	// Warm the scratch to working-set size.
+	for _, q := range queries {
+		tree.RadiusScratch(q, 30, &s)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		for _, q := range queries {
+			tree.RadiusScratch(q, 30, &s)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("RadiusScratch allocates %.1f per run, want 0", allocs)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"github.com/memes-pipeline/memes/internal/annotate"
@@ -39,10 +41,29 @@ type BuildResult struct {
 	// Clusters lists every cluster across the fringe communities; Clusters[i].ID == i.
 	Clusters []ClusterInfo
 
-	medoids    index.MedoidIndex // index over annotated-cluster medoids, read-only
-	buildStats RunStats          // cluster + annotate (or load) stage records
-	buildWall  time.Duration     // end-to-end wall time of Build (or LoadBuild)
-	progress   ProgressFunc      // forwarded to Result's associate stage
+	medoids    index.MedoidIndex    // index over annotated-cluster medoids, read-only
+	sq         index.ScratchQuerier // medoids, when it serves the zero-alloc scratch path
+	scratch    *sync.Pool           // *phash.Scratch per querying goroutine
+	buildStats RunStats             // cluster + annotate (or load) stage records
+	buildWall  time.Duration        // end-to-end wall time of Build (or LoadBuild)
+	progress   ProgressFunc         // forwarded to Result's associate stage
+	closer     func() error         // releases the mmap backing a v2 load; nil otherwise
+}
+
+// Close releases the memory mapping backing a BuildResult loaded from a v2
+// snapshot file. After Close the flat index aliases unmapped memory, so the
+// caller must have quiesced every query first. Close is idempotent, and
+// calling it is optional: an unclosed mapping is released by the garbage
+// collector once the BuildResult is unreachable. Builds and non-mmap loads
+// have nothing to release; Close on them is a no-op.
+func (b *BuildResult) Close() error {
+	c := b.closer
+	if c == nil {
+		return nil
+	}
+	b.closer = nil
+	runtime.SetFinalizer(b, nil)
+	return c()
 }
 
 // Match is the outcome of a single-hash lookup against the annotated
@@ -247,8 +268,22 @@ func (b *BuildResult) buildIndex() (int, error) {
 			annotated++
 		}
 	}
-	b.medoids = idx
+	b.setIndex(idx)
 	return annotated, nil
+}
+
+// setIndex installs a fully populated medoid index: strategies that support
+// it are sealed into their flat, immutable form, and the zero-allocation
+// scratch query path is cached so every Match/Associate afterwards reuses
+// pooled per-goroutine scratch instead of allocating candidate stacks and
+// result buffers per query.
+func (b *BuildResult) setIndex(idx index.MedoidIndex) {
+	if s, ok := idx.(index.Sealer); ok {
+		s.Seal()
+	}
+	b.medoids = idx
+	b.sq, _ = idx.(index.ScratchQuerier)
+	b.scratch = &sync.Pool{New: func() any { return new(phash.Scratch) }}
 }
 
 // Stats returns the build-phase stage records (cluster and annotate); the
@@ -301,16 +336,63 @@ func (b *BuildResult) Associate(ctx context.Context, posts []dataset.Post) ([]As
 	})
 }
 
+// AssociateAppend is Associate for resident serving loops: it appends the
+// associations for posts to out and returns the extended slice, so a caller
+// that reuses its buffer (out = out[:0] between batches) pays zero
+// steady-state allocations — the batch result, the per-query candidate
+// stacks, and the radius buffers all live in reused memory. The produced
+// associations are bitwise identical to Associate's for the same posts.
+//
+// The batch runs on the calling goroutine (serving layers batch many small
+// requests, so parallelism across batches beats fan-out within one); ctx is
+// checked on entry and every 1024 posts.
+//
+//memes:noalloc
+func (b *BuildResult) AssociateAppend(ctx context.Context, posts []dataset.Post, out []Association) ([]Association, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	if b.medoids.Len() == 0 {
+		return out, nil
+	}
+	for i := range posts {
+		if i&1023 == 1023 {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
+		}
+		p := &posts[i]
+		if !p.HasImage {
+			continue
+		}
+		if m, ok := b.match(p.PHash()); ok {
+			out = append(out, Association{PostIndex: i, ClusterID: m.ClusterID, Distance: m.Distance})
+		}
+	}
+	return out, nil
+}
+
 // Match looks a single perceptual hash up against the annotated clusters
 // (Step 6 for one image). The boolean is false when no annotated medoid lies
 // within the association threshold. Goroutine-safe.
 func (b *BuildResult) Match(h phash.Hash) (Match, bool) { return b.match(h) }
 
-// MatchCtx is Match honouring ctx cancellation: index strategies with
-// internal query fan-out (sharded, multi-index) stop early and return
-// ctx.Err(); purely sequential strategies check ctx once on entry.
-// Goroutine-safe.
+// MatchCtx is Match honouring ctx cancellation. Sealed indexes serve the
+// zero-allocation scratch path with a single ctx check on entry (a sealed
+// radius probe is short and uncancellable by construction); unsealed
+// strategies with internal query fan-out (sharded, multi-index) stop early
+// and return ctx.Err(). Goroutine-safe.
 func (b *BuildResult) MatchCtx(ctx context.Context, h phash.Hash) (Match, bool, error) {
+	if b.sq != nil {
+		if err := ctx.Err(); err != nil {
+			return Match{}, false, err
+		}
+		m, ok := b.match(h)
+		return m, ok, nil
+	}
 	var matches []phash.Match
 	if cq, ok := b.medoids.(index.CtxQuerier); ok {
 		var err error
@@ -332,8 +414,19 @@ func (b *BuildResult) MatchCtx(ctx context.Context, h phash.Hash) (Match, bool, 
 // minimum distance, with ties broken by the lowest cluster ID across all
 // matches at that distance, so the index's traversal order never shows
 // through — a hard requirement for every strategy to serve bitwise-equal
-// results.
+// results. When the index serves the scratch path, the whole probe runs
+// through pooled per-goroutine scratch and allocates nothing in steady
+// state; pickMatch only reads the scratch-backed slice, which is returned
+// to the pool before the reduced answer escapes.
+//
+//memes:noalloc
 func (b *BuildResult) match(h phash.Hash) (Match, bool) {
+	if b.sq != nil {
+		sc := b.scratch.Get().(*phash.Scratch)
+		m, ok := pickMatch(b.sq.RadiusScratch(h, b.Config.AssociationThreshold, sc))
+		b.scratch.Put(sc)
+		return m, ok
+	}
 	return pickMatch(b.medoids.Radius(h, b.Config.AssociationThreshold))
 }
 

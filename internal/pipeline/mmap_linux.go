@@ -1,0 +1,8 @@
+//go:build linux
+
+package pipeline
+
+import "syscall"
+
+// mmapPopulate prefaults the mapping at mmap time on Linux.
+const mmapPopulate = syscall.MAP_POPULATE

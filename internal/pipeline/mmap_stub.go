@@ -1,0 +1,14 @@
+//go:build !unix
+
+package pipeline
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapFile is unavailable on this platform; LoadBuildFile falls back to a
+// single read of the whole file.
+func mmapFile(*os.File, int) ([]byte, func() error, error) {
+	return nil, nil, errors.New("pipeline: mmap not supported on this platform")
+}

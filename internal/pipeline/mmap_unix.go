@@ -1,0 +1,25 @@
+//go:build unix
+
+package pipeline
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only. The returned closer unmaps; the
+// mapping outlives f's file descriptor, so callers may close f immediately.
+// Where the platform supports it the pages are prefaulted in the mmap call
+// itself (one syscall instead of one fault per page), since the checksum
+// validation touches every byte immediately anyway.
+func mmapFile(f *os.File, size int) ([]byte, func() error, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED|mmapPopulate)
+	if err != nil && mmapPopulate != 0 {
+		// Some filesystems reject MAP_POPULATE; the plain mapping works.
+		data, err = syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -1,0 +1,6 @@
+//go:build unix && !linux
+
+package pipeline
+
+// mmapPopulate is unavailable outside Linux; pages fault in on demand.
+const mmapPopulate = 0

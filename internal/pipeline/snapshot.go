@@ -40,23 +40,41 @@ import (
 // CRC-32 so truncation or corruption fails loudly. The format is versioned
 // by a magic header; readers reject versions they do not understand.
 
-// snapshotMagic identifies a snapshot stream; the trailing byte is the
-// format version.
+// snapshotMagic identifies a snapshot stream; the uint32 that follows is
+// the format version (see SnapshotV1 / SnapshotV2 in snapv2.go).
 var snapshotMagic = [8]byte{'M', 'E', 'M', 'E', 'S', 'N', 'A', 'P'}
 
-// snapshotVersion is the current format version.
-const snapshotVersion uint32 = 1
-
-// Save writes a versioned binary snapshot of the build to w. The snapshot
-// captures everything Steps 2-5 produced; LoadBuild reconstitutes an
-// equivalent BuildResult without re-running them.
+// Save writes a binary snapshot of the build to w in the latest format
+// (MEMESNAP v2, the flat mmap-able layout). The snapshot captures
+// everything Steps 2-5 produced; LoadBuild reconstitutes an equivalent
+// BuildResult without re-running them.
 func (b *BuildResult) Save(w io.Writer) error {
+	return b.SaveVersion(w, SnapshotLatest)
+}
+
+// SaveVersion writes a snapshot in an explicit format version: SnapshotV1
+// (the varint streaming layout, for consumers that predate v2) or
+// SnapshotV2. Both round-trip through LoadBuild to equivalent engines
+// serving bitwise-identical query output.
+func (b *BuildResult) SaveVersion(w io.Writer, version uint32) error {
+	switch version {
+	case SnapshotV1:
+		return b.saveV1(w)
+	case SnapshotV2:
+		return b.saveV2(w)
+	default:
+		return fmt.Errorf("pipeline: unsupported snapshot version %d (supported: %d, %d)", version, SnapshotV1, SnapshotV2)
+	}
+}
+
+// saveV1 writes the original varint streaming layout.
+func (b *BuildResult) saveV1(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(snapshotMagic[:]); err != nil {
 		return fmt.Errorf("pipeline: writing snapshot header: %w", err)
 	}
 	var verbuf [4]byte
-	binary.LittleEndian.PutUint32(verbuf[:], snapshotVersion)
+	binary.LittleEndian.PutUint32(verbuf[:], SnapshotV1)
 	if _, err := bw.Write(verbuf[:]); err != nil {
 		return fmt.Errorf("pipeline: writing snapshot header: %w", err)
 	}
@@ -141,18 +159,38 @@ func LoadBuild(r io.Reader, site *annotate.Site, ds *dataset.Dataset, reconfig f
 	if site == nil {
 		return nil, errors.New("pipeline: nil annotation site")
 	}
-	start := now()
-
 	br := bufio.NewReader(r)
-	var header [12]byte
-	if _, err := io.ReadFull(br, header[:]); err != nil {
+	header, err := br.Peek(12)
+	if err != nil {
 		return nil, fmt.Errorf("pipeline: reading snapshot header: %w", err)
 	}
 	if [8]byte(header[:8]) != snapshotMagic {
 		return nil, errors.New("pipeline: not a snapshot stream (bad magic)")
 	}
-	if v := binary.LittleEndian.Uint32(header[8:12]); v != snapshotVersion {
-		return nil, fmt.Errorf("pipeline: unsupported snapshot version %d (supported: %d)", v, snapshotVersion)
+	switch v := binary.LittleEndian.Uint32(header[8:12]); v {
+	case SnapshotV1:
+		return loadBuildV1(br, site, ds, reconfig, progress)
+	case SnapshotV2:
+		// The flat layout is random-access, not streaming: slurp the rest
+		// and decode in place. File-based callers use LoadBuildFile, which
+		// mmaps instead of reading.
+		data, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: reading snapshot: %w", err)
+		}
+		return loadBuildV2(data, site, ds, reconfig, progress)
+	default:
+		return nil, fmt.Errorf("pipeline: unsupported snapshot version %d (supported: %d, %d)", v, SnapshotV1, SnapshotV2)
+	}
+}
+
+// loadBuildV1 decodes the varint streaming layout; br is positioned at the
+// start of the stream (header included — it is re-read here).
+func loadBuildV1(br *bufio.Reader, site *annotate.Site, ds *dataset.Dataset, reconfig func(*Config), progress ProgressFunc) (*BuildResult, error) {
+	start := now()
+	var header [12]byte
+	if _, err := io.ReadFull(br, header[:]); err != nil {
+		return nil, fmt.Errorf("pipeline: reading snapshot header: %w", err)
 	}
 
 	crc := crc32.NewIEEE()

@@ -10,15 +10,15 @@ import (
 // errBatcherClosed is returned to lookups that race the server shutdown.
 var errBatcherClosed = errors.New("server: batcher closed")
 
-// batcher coalesces concurrent single-hash lookups into one Engine.Associate
-// fan-out. /v1/match is the highest-rate endpoint of the serving layer, and
-// answering each lookup with its own index probe leaves the engine's worker
-// pool idle; the batcher instead drains every lookup that is queued at the
-// moment one arrives (up to maxBatch) and submits them as a single post
-// batch, so concurrent traffic is answered by one parallel fan-out bounded
-// by the engine's Config.Workers. Under a single in-flight request the batch
-// degenerates to size 1 and costs one channel hop — there is no timer and no
-// added latency floor.
+// batcher coalesces concurrent single-hash lookups into one
+// Engine.AssociateAppend pass. /v1/match is the highest-rate endpoint of the
+// serving layer, and answering each lookup with its own request/response
+// round trip wastes channel hops; the batcher instead drains every lookup
+// that is queued at the moment one arrives (up to maxBatch) and submits them
+// as a single post batch answered from the engine's pooled query scratch, so
+// the steady-state serving loop allocates nothing per batch. Under a single
+// in-flight request the batch degenerates to size 1 and costs one channel
+// hop — there is no timer and no added latency floor.
 //
 // Every batch pins one engine generation from the hot handle, so all lookups
 // coalesced together are answered by the same artifact even while a hot
@@ -34,9 +34,10 @@ type batcher struct {
 	// Dispatcher-owned scratch, reused across batches so the steady state
 	// allocates nothing per batch (the noalloc invariant on run/flush).
 	// Only the dispatcher goroutine touches these.
-	batch []*matchReq
-	posts []memes.Post
-	outs  []matchOut
+	batch  []*matchReq
+	posts  []memes.Post
+	outs   []matchOut
+	assocs []memes.Association
 }
 
 // matchReq is one queued lookup; resp is buffered so the dispatcher never
@@ -69,6 +70,7 @@ func newBatcher(hot *memes.HotEngine, maxBatch int, stats *counters) *batcher {
 		batch:    make([]*matchReq, 0, maxBatch),
 		posts:    make([]memes.Post, 0, maxBatch),
 		outs:     make([]matchOut, 0, maxBatch),
+		assocs:   make([]memes.Association, 0, maxBatch),
 	}
 	//memes:goroutine dispatcher owned by Close: stop/done handshake joins it
 	go b.run()
@@ -139,13 +141,14 @@ func (b *batcher) run() {
 	}
 }
 
-// flush answers the coalesced batch in b.batch with a single Associate
-// fan-out against one pinned engine generation. Associate and Match share
-// the same winner selection (nearest annotated medoid, ties to the lowest
+// flush answers the coalesced batch in b.batch with a single AssociateAppend
+// pass against one pinned engine generation. Associate and Match share the
+// same winner selection (nearest annotated medoid, ties to the lowest
 // cluster ID), so a batched lookup is bitwise-identical to a direct
-// Engine.Match. The post and response buffers live on the batcher and are
-// recycled across flushes; responses are copied into the per-request reply
-// channels before the next flush reuses them.
+// Engine.Match. The post, association, and response buffers live on the
+// batcher and are recycled across flushes — once warmed to maxBatch capacity
+// the serving loop allocates nothing per batch; responses are copied into
+// the per-request reply channels before the next flush reuses them.
 //
 //memes:noalloc
 func (b *batcher) flush() {
@@ -154,7 +157,8 @@ func (b *batcher) flush() {
 	for _, req := range b.batch {
 		b.posts = append(b.posts, memes.Post{HasImage: true, Hash: uint64(req.hash)})
 	}
-	assocs, err := eng.Associate(context.Background(), b.posts)
+	var err error
+	b.assocs, err = eng.AssociateAppend(context.Background(), b.posts, b.assocs[:0])
 	if err != nil {
 		for _, req := range b.batch {
 			req.resp <- matchOut{err: err}
@@ -166,7 +170,7 @@ func (b *batcher) flush() {
 	for range b.batch {
 		b.outs = append(b.outs, matchOut{eng: eng, gen: gen})
 	}
-	for _, a := range assocs {
+	for _, a := range b.assocs {
 		b.outs[a.PostIndex].m = memes.Match{ClusterID: a.ClusterID, Distance: a.Distance}
 		b.outs[a.PostIndex].ok = true
 	}
