@@ -76,6 +76,10 @@ done
 [ -n "$up" ] || { echo "FAIL: /v1/healthz never came up"; exit 1; }
 jq -e '.status == "ok" and .clusters > 0 and .annotated_clusters > 0' "$workdir/health.json" >/dev/null
 
+step "readyz reports the node ready for traffic"
+curl -fsS "http://$addr/v1/readyz" >"$workdir/ready.json"
+jq -e '.ready == true' "$workdir/ready.json" >/dev/null
+
 step "single-hash /v1/match on an annotated medoid"
 curl -fsS "http://$addr/v1/clusters" >"$workdir/clusters.json"
 medoid=$(jq -r '[.clusters[] | select(.annotated)][0].medoid_hash' "$workdir/clusters.json")
@@ -213,4 +217,67 @@ if ! wait "$server_pid"; then
 fi
 server_pid=""
 
-echo "SMOKE PASSED: healthz, match, associate ($expected_assoc associations), 2 hot reloads, ingest + v2 compaction + journal replay, graceful shutdown"
+# --- degraded-journal scenario (chaos build) ---------------------------------
+# A -tags faults build arms an injected journal failure whose budget equals
+# exactly one append's retry budget: the first ingest exhausts it and flips
+# the node into read-only degraded mode (503 journal_degraded + Retry-After,
+# readyz drains it, queries keep answering), and the next ingest finds the
+# journal healthy again and clears the flag — recovery without a restart.
+
+step "chaos build: booting memeserve -tags faults with an armed journal fault"
+go build -tags faults -o "$workdir/bin/memeserve-faults" ./cmd/memeserve
+"$workdir/bin/memeserve-faults" -addr "$addr" -load "$workdir/engine.snap" -in "$workdir/corpus" \
+  -ingest-threshold 1000000 -delta-dir "$workdir/deltas-degraded" \
+  -faults 'journal.append.write=error,times=3' &
+server_pid=$!
+up=""
+for _ in $(seq 1 150); do
+  if curl -fsS "http://$addr/v1/healthz" >/dev/null 2>&1; then
+    up=1
+    break
+  fi
+  kill -0 "$server_pid" 2>/dev/null || { echo "FAIL: chaos memeserve exited before becoming healthy"; exit 1; }
+  sleep 0.2
+done
+[ -n "$up" ] || { echo "FAIL: chaos memeserve never came up"; exit 1; }
+code=$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/v1/readyz")
+[ "$code" = "200" ] || { echo "FAIL: readyz before the fault = $code, want 200"; exit 1; }
+
+step "ingest exhausts the journal retry budget: clean 503 + Retry-After + reason"
+code=$(curl -s -D "$workdir/degraded_hdrs" -o "$workdir/ingest_degraded.json" -w '%{http_code}' \
+  -X POST --data-binary @"$workdir/ingest_req.json" "http://$addr/v1/ingest")
+[ "$code" = "503" ] || { echo "FAIL: ingest during fault = $code, want 503"; exit 1; }
+grep -qi '^retry-after: 1' "$workdir/degraded_hdrs" \
+  || { echo "FAIL: degraded 503 carries no Retry-After"; exit 1; }
+jq -e '.reason == "journal_degraded"' "$workdir/ingest_degraded.json" >/dev/null
+
+step "degraded node: readyz drains it, healthz and queries keep answering"
+code=$(curl -s -o "$workdir/ready_degraded.json" -w '%{http_code}' "http://$addr/v1/readyz")
+[ "$code" = "503" ] || { echo "FAIL: readyz while degraded = $code, want 503"; exit 1; }
+jq -e '.ready == false and .reason == "journal_degraded"' "$workdir/ready_degraded.json" >/dev/null
+curl -fsS "http://$addr/v1/healthz" >/dev/null
+curl -fsS -X POST -d "{\"hash\":\"$medoid\"}" "http://$addr/v1/match" >"$workdir/match_degraded.json"
+jq -e '.matched == true' "$workdir/match_degraded.json" >/dev/null
+curl -fsS "http://$addr/v1/statsz" >"$workdir/stats_degraded.json"
+jq -e '.degraded == true and .ingest.degraded == true
+       and .ingest.journal_retries == 2 and .ingest.journal_failures == 1' \
+  "$workdir/stats_degraded.json" >/dev/null
+
+step "journal heals: the next ingest succeeds and readiness recovers"
+curl -fsS -X POST --data-binary @"$workdir/ingest_req.json" \
+  "http://$addr/v1/ingest" >"$workdir/ingest_healed.json"
+jq -e '.accepted == 5 and .seq == 5' "$workdir/ingest_healed.json" >/dev/null
+code=$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/v1/readyz")
+[ "$code" = "200" ] || { echo "FAIL: readyz after heal = $code, want 200"; exit 1; }
+curl -fsS "http://$addr/v1/statsz" >"$workdir/stats_healed.json"
+jq -e '.degraded == false and .ingest.degraded == false' "$workdir/stats_healed.json" >/dev/null
+
+step "chaos build: graceful shutdown"
+kill -TERM "$server_pid"
+if ! wait "$server_pid"; then
+  echo "FAIL: chaos memeserve exited non-zero on SIGTERM"
+  exit 1
+fi
+server_pid=""
+
+echo "SMOKE PASSED: healthz, readyz, match, associate ($expected_assoc associations), 2 hot reloads, ingest + v2 compaction + journal replay, degraded-journal read-only mode + self-heal, graceful shutdown"

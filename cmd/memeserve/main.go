@@ -11,6 +11,8 @@
 //	memeserve -load engine.snap -in ./corpus [-addr :8080] [-index bktree|multiindex|sharded]
 //	          [-workers N] [-max-batch 256] [-drain 10s]
 //	          [-ingest-threshold N] [-delta-dir ./deltas] [-compact-after N]
+//	          [-read-header-timeout 5s] [-read-timeout 60s] [-write-timeout 60s]
+//	          [-idle-timeout 120s] [-request-timeout 30s] [-max-inflight 1024]
 //
 // -in names the corpus directory (written by memegen) whose annotation site
 // the snapshot's entries are resolved against — the same site the build
@@ -30,9 +32,15 @@
 // newest compacted base over -load and replays the journal tail, so
 // ingested posts survive a restart.
 //
+// Serving is hardened by default: per-request deadlines, panic recovery,
+// and bounded in-flight admission control that sheds excess load with 503 +
+// Retry-After. GET /v1/readyz reports readiness (engine resident and journal
+// writable) as distinct from /v1/healthz liveness; a degraded journal flips
+// the node read-only — ingests 503, queries keep serving.
+//
 // API: POST /v1/associate, /v1/match, /v1/match/image, /v1/ingest; GET
-// /v1/healthz, /v1/statsz, /v1/clusters; POST /v1/admin/reload — see
-// internal/server.
+// /v1/healthz, /v1/readyz, /v1/statsz, /v1/clusters; POST /v1/admin/reload —
+// see internal/server.
 package main
 
 import (
@@ -47,6 +55,7 @@ import (
 	"time"
 
 	"github.com/memes-pipeline/memes"
+	"github.com/memes-pipeline/memes/internal/faults"
 	"github.com/memes-pipeline/memes/internal/server"
 )
 
@@ -61,9 +70,22 @@ func main() {
 	ingestThreshold := flag.Int("ingest-threshold", 0, "pending posts that trigger an incremental re-cluster; 0 disables POST /v1/ingest")
 	deltaDir := flag.String("delta-dir", "", "delta-journal directory for ingest persistence (empty = in-memory only)")
 	compactAfter := flag.Int("compact-after", 0, "sealed delta segments that trigger background compaction into a base snapshot (0 = default)")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 5*time.Second, "http.Server.ReadHeaderTimeout: slowloris guard on request headers")
+	readTimeout := flag.Duration("read-timeout", 60*time.Second, "http.Server.ReadTimeout: whole-request read deadline")
+	writeTimeout := flag.Duration("write-timeout", 60*time.Second, "http.Server.WriteTimeout: whole-response write deadline")
+	idleTimeout := flag.Duration("idle-timeout", 120*time.Second, "http.Server.IdleTimeout: keep-alive connection reaper")
+	requestTimeout := flag.Duration("request-timeout", server.DefaultRequestTimeout, "per-request handler deadline (queries and ingest); negative disables")
+	maxInFlight := flag.Int("max-inflight", server.DefaultMaxInFlight, "max concurrently served requests before shedding with 503; negative disables")
+	faultSpec := flag.String("faults", "", "fault-injection spec (chaos builds only; see internal/faults)")
 	flag.Parse()
 	if *load == "" {
 		log.Fatal("memeserve: -load is required (build a snapshot with memepipeline -save)")
+	}
+	// In a release binary Arm rejects any non-empty spec, so arming faults
+	// against a build that compiled them out fails loudly instead of
+	// silently testing nothing.
+	if err := faults.Arm(*faultSpec); err != nil {
+		log.Fatalf("memeserve: %v", err)
 	}
 
 	// The annotation site is rebuilt once from the corpus and shared by
@@ -105,7 +127,12 @@ func main() {
 		return memes.LoadEngineFile(snapPath, site, opts...)
 	}
 
-	cfg := server.Config{Loader: loader, MaxBatch: *maxBatch}
+	cfg := server.Config{
+		Loader:         loader,
+		MaxBatch:       *maxBatch,
+		MaxInFlight:    *maxInFlight,
+		RequestTimeout: *requestTimeout,
+	}
 	if *ingestThreshold > 0 {
 		cfg.Ingest = func(hot *memes.HotEngine) (*memes.Ingestor, error) {
 			return memes.NewIngestor(hot, ds, site, memes.IngestConfig{
@@ -135,7 +162,17 @@ func main() {
 	eng := srv.Engine()
 	log.Printf("memeserve: loaded %s (%d clusters) — serving on %s", snapPath, len(eng.Clusters()), *addr)
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// All four transport timeouts are set so no client behaviour — slow
+	// headers, trickled bodies, abandoned keep-alives — can pin a connection
+	// (and its goroutine) forever.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 
 	// SIGHUP: hot-swap a freshly built snapshot under live traffic.
 	hup := make(chan os.Signal, 1)

@@ -4,6 +4,8 @@ import (
 	"context"
 	"image"
 	"sync/atomic"
+
+	"github.com/memes-pipeline/memes/internal/faults"
 )
 
 // HotEngine is an atomic handle over a resident *Engine that lets a serving
@@ -63,6 +65,9 @@ func (h *HotEngine) Engine() *Engine { return h.p.Load().eng }
 // callers can keep it, compare against it, or let it be collected once its
 // in-flight requests drain.
 func (h *HotEngine) Swap(eng *Engine) (old *Engine) {
+	// Crash site for the chaos harness: dying here models a process lost
+	// after the rebuild finished but before the new generation published.
+	_ = faults.Inject("engine.swap")
 	for {
 		cur := h.p.Load()
 		if h.p.CompareAndSwap(cur, &engineGen{eng: eng, gen: cur.gen + 1}) {

@@ -1,11 +1,12 @@
 package memes
 
 import (
+	"context"
+	"time"
+
 	"github.com/memes-pipeline/memes/internal/ingest"
 	"github.com/memes-pipeline/memes/internal/phash"
 	"github.com/memes-pipeline/memes/internal/pipeline"
-
-	"context"
 )
 
 // Ingestor absorbs new posts into a running serving process: posts already
@@ -30,6 +31,11 @@ var ErrIngestPoolFull = ingest.ErrPoolFull
 // ErrIngestorClosed rejects ingests after Ingestor.Close.
 var ErrIngestorClosed = ingest.ErrClosed
 
+// ErrIngestJournalDegraded rejects an ingest batch whose journal append
+// exhausted its retry budget: durability cannot be promised, so the batch is
+// refused and the ingestor serves read-only until an append succeeds again.
+var ErrIngestJournalDegraded = ingest.ErrJournalDegraded
+
 // IngestConfig tunes an Ingestor; every zero field gets a usable default
 // (threshold 256, pool 8×threshold, compaction after 8 journal segments,
 // persistence disabled).
@@ -45,6 +51,12 @@ type IngestConfig struct {
 	CompactAfter int
 	// DeltaDir is the delta-journal directory; empty disables persistence.
 	DeltaDir string
+	// JournalAttempts is the total number of tries one batch's journal
+	// append gets before the ingestor goes read-only (default 3);
+	// JournalBackoff is the first retry delay, doubling per retry with a
+	// fixed cap (default 2ms).
+	JournalAttempts int
+	JournalBackoff  time.Duration
 }
 
 // NewIngestor wires a streaming ingest path onto a hot-swappable engine.
@@ -65,10 +77,12 @@ func NewIngestor(hot *HotEngine, ds *Dataset, site *AnnotationSite, cfg IngestCo
 		return nil, err
 	}
 	return ingest.New(inc, ingest.Config{
-		Threshold:    cfg.Threshold,
-		MaxPending:   cfg.MaxPending,
-		CompactAfter: cfg.CompactAfter,
-		DeltaDir:     cfg.DeltaDir,
+		Threshold:       cfg.Threshold,
+		MaxPending:      cfg.MaxPending,
+		CompactAfter:    cfg.CompactAfter,
+		DeltaDir:        cfg.DeltaDir,
+		JournalAttempts: cfg.JournalAttempts,
+		JournalBackoff:  cfg.JournalBackoff,
 		Match: func(ctx context.Context, h phash.Hash) (bool, error) {
 			_, ok, err := hot.Match(ctx, h)
 			return ok, err

@@ -1,0 +1,19 @@
+// Package chaos is the crash-recovery proving ground for the streaming
+// ingest path: a re-exec subprocess harness that arms one fault point per
+// scenario (internal/faults), drives a deterministic ingest workload until
+// the injected crash kills the child process mid-operation, then restarts
+// in-process the way memeserve boots — newest compacted base, journal
+// replay, torn-tail repair — and asserts the recovered engine is
+// bitwise-identical to a from-scratch build over the base corpus plus every
+// journaled post.
+//
+// The suite compiles only with -tags faults (the injection registry is a
+// no-op otherwise, so there would be nothing to test); this file exists so
+// untagged builds still see a valid package. Run it with:
+//
+//	go test -tags faults ./internal/chaos/
+//
+// Crash sites covered: journal append write/sync (clean and torn),
+// compaction snapshot write and rename, compaction cleanup, re-cluster
+// publish, and the hot-engine swap itself.
+package chaos

@@ -1,0 +1,44 @@
+//go:build !faults
+
+package faults
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestReleaseInjectIsFree(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled must be false without -tags faults")
+	}
+	if err := Inject("journal.append.write"); err != nil {
+		t.Fatalf("release Inject returned %v", err)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := Inject("journal.append.write"); err != nil {
+			t.Error(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("release Inject allocates %.0f/op, want 0", allocs)
+	}
+}
+
+func TestReleaseArmRejectsSpec(t *testing.T) {
+	if err := Arm(""); err != nil {
+		t.Fatalf("empty spec: %v", err)
+	}
+	if err := Arm("snapshot.rename=exit"); err == nil {
+		t.Fatal("release Arm accepted a non-empty spec; it must fail loudly")
+	}
+}
+
+func TestReleaseWrapWriterIsIdentity(t *testing.T) {
+	var buf bytes.Buffer
+	if w := WrapWriter("snapshot.write", &buf); w != &buf {
+		t.Fatalf("release WrapWriter returned %T, want the original writer", w)
+	}
+	if Hits("anything") != 0 {
+		t.Fatal("release Hits must be 0")
+	}
+	Reset() // must not panic
+}

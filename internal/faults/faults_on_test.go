@@ -1,0 +1,151 @@
+//go:build faults
+
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func arm(t *testing.T, spec string) {
+	t.Helper()
+	Reset()
+	t.Cleanup(Reset)
+	if err := Arm(spec); err != nil {
+		t.Fatalf("Arm(%q): %v", spec, err)
+	}
+}
+
+func TestInjectErrorAfterTimes(t *testing.T) {
+	arm(t, "journal.append.write=error,after=3,times=2")
+	var errs int
+	for i := 1; i <= 6; i++ {
+		err := Inject("journal.append.write")
+		switch {
+		case i == 3 || i == 4:
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("hit %d: err=%v, want ErrInjected", i, err)
+			}
+			errs++
+		default:
+			if err != nil {
+				t.Fatalf("hit %d: unexpected %v", i, err)
+			}
+		}
+	}
+	if errs != 2 {
+		t.Fatalf("fired %d times, want 2", errs)
+	}
+	if got := Hits("journal.append.write"); got != 6 {
+		t.Fatalf("Hits=%d, want 6", got)
+	}
+	if err := Inject("some.other.point"); err != nil {
+		t.Fatalf("unarmed point: %v", err)
+	}
+}
+
+func TestSeededProbabilityIsDeterministic(t *testing.T) {
+	run := func() []bool {
+		arm(t, "x=error,p=0.5,seed=99")
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = Inject("x") != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	var fired int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d diverged between identically seeded runs", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("p=0.5 fired %d/%d; want a mix", fired, len(a))
+	}
+}
+
+//memes:nondet wall-clock lower-bound check on the injected sleep; never influences engine output
+func TestLatencyAction(t *testing.T) {
+	arm(t, "slow=latency,delay=30ms,times=1")
+	start := time.Now()
+	if err := Inject("slow"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("latency fault slept only %v", d)
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	arm(t, "boom=panic")
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic fault did not panic")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "boom") {
+			t.Fatalf("panic value %v does not name the point", r)
+		}
+	}()
+	Inject("boom")
+}
+
+func TestTornWriter(t *testing.T) {
+	arm(t, "snapshot.write=torn,after=2")
+	var buf bytes.Buffer
+	w := WrapWriter("snapshot.write", &buf)
+	if _, err := w.Write([]byte("aaaa")); err != nil {
+		t.Fatalf("pre-activation write: %v", err)
+	}
+	n, err := w.Write([]byte("bbbbbbbb"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write err=%v, want ErrInjected", err)
+	}
+	if n != 4 {
+		t.Fatalf("torn write persisted %d bytes, want half (4)", n)
+	}
+	if got := buf.String(); got != "aaaabbbb" {
+		t.Fatalf("buffer %q, want %q", got, "aaaabbbb")
+	}
+	// Inject on a torn point is inert so seams can call both.
+	if err := Inject("snapshot.write"); err != nil {
+		t.Fatalf("Inject on torn point: %v", err)
+	}
+	// Non-torn points pass writers through untouched.
+	arm(t, "other=error")
+	if got := WrapWriter("snapshot.write", &buf); got != &buf {
+		t.Fatalf("unarmed WrapWriter returned %T", got)
+	}
+}
+
+func TestSpecParseErrors(t *testing.T) {
+	defer Reset()
+	for _, spec := range []string{
+		"noaction",
+		"x=explode",
+		"x=error,after=0",
+		"x=error,p=1.5",
+		"x=error,frobnicate=1",
+		"x=error,then=exit", // then=exit only applies to torn
+		"x=torn,then=later",
+		"x=error,delay=fast",
+	} {
+		if err := Arm(spec); err == nil {
+			t.Errorf("Arm(%q) accepted a bad spec", spec)
+		}
+	}
+	// Multi-clause spec with whitespace parses.
+	if err := Arm(" a=error,times=1 ; b=exit,code=3 "); err != nil {
+		t.Fatalf("multi-clause spec: %v", err)
+	}
+	if Inject("a") == nil {
+		t.Fatal("clause a not armed")
+	}
+}

@@ -1,0 +1,36 @@
+//go:build !faults
+
+package faults
+
+import (
+	"errors"
+	"io"
+)
+
+// Enabled reports whether this binary was built with fault injection
+// compiled in (-tags faults).
+const Enabled = false
+
+// Inject is the release-build no-op for the fault point named name. It
+// compiles to an inlinable `return nil`, so annotating a seam costs nothing
+// on the serve path.
+func Inject(name string) error { return nil }
+
+// Arm rejects any non-empty spec in release builds: arming faults against a
+// binary that compiled them out would silently test nothing, so the caller
+// must fail loudly instead.
+func Arm(spec string) error {
+	if spec != "" {
+		return errors.New("faults: binary built without -tags faults; cannot arm " + spec)
+	}
+	return nil
+}
+
+// Reset is a no-op in release builds.
+func Reset() {}
+
+// Hits always reports 0 in release builds.
+func Hits(name string) uint64 { return 0 }
+
+// WrapWriter returns w unchanged in release builds.
+func WrapWriter(name string, w io.Writer) io.Writer { return w }

@@ -1,0 +1,250 @@
+//go:build faults
+
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Enabled reports whether this binary was built with fault injection
+// compiled in (-tags faults).
+const Enabled = true
+
+// registry holds the armed points. It is replaced wholesale by Arm/Reset;
+// individual points carry their own mutable activation state.
+var registry atomic.Pointer[map[string]*point]
+
+func init() {
+	if spec := os.Getenv("MEMES_FAULTS"); spec != "" {
+		if err := Arm(spec); err != nil {
+			// A misspelled spec silently testing nothing is the worst
+			// failure mode a fault harness can have.
+			panic(err)
+		}
+	}
+}
+
+type point struct {
+	name     string
+	action   string // error | latency | torn | panic | exit
+	after    uint64 // fire from the Nth hit on (1-based)
+	times    uint64 // max activations; 0 = unlimited
+	prob     float64
+	seeded   bool // prob gate armed (p= given)
+	delay    time.Duration
+	code     int
+	thenExit bool // torn: hard-exit after the partial write
+
+	mu    sync.Mutex
+	hits  uint64
+	fired uint64
+	rng   uint64 // splitmix64 state, seeded by seed=
+}
+
+type injectedError struct{ name string }
+
+func (e *injectedError) Error() string { return "faults: injected fault at " + e.name }
+func (e *injectedError) Unwrap() error { return ErrInjected }
+
+// Inject fires the fault armed at the named point, if any. Error-action
+// points return an error wrapping ErrInjected; latency points sleep;
+// panic/exit points do not return. Torn points are inert here — they fire
+// through the writer installed by WrapWriter instead, so a seam can safely
+// call both on the same name.
+func Inject(name string) error {
+	pt := lookup(name)
+	if pt == nil || pt.action == "torn" {
+		return nil
+	}
+	if !pt.activate() {
+		return nil
+	}
+	switch pt.action {
+	case "latency":
+		time.Sleep(pt.delay)
+		return nil
+	case "panic":
+		panic("faults: injected panic at " + pt.name)
+	case "exit":
+		pt.exit()
+	}
+	return &injectedError{name: pt.name}
+}
+
+// WrapWriter interposes on w when name is armed with the torn action: the
+// activating Write persists only a prefix of the buffer and then either
+// errors or (with then=exit) hard-exits, modelling a crash mid-write.
+// Unarmed or non-torn points return w unchanged.
+func WrapWriter(name string, w io.Writer) io.Writer {
+	pt := lookup(name)
+	if pt == nil || pt.action != "torn" {
+		return w
+	}
+	return &tornWriter{pt: pt, w: w}
+}
+
+type tornWriter struct {
+	pt *point
+	w  io.Writer
+}
+
+func (t *tornWriter) Write(b []byte) (int, error) {
+	if !t.pt.activate() {
+		return t.w.Write(b)
+	}
+	n := len(b) / 2
+	if n > 0 {
+		m, err := t.w.Write(b[:n])
+		if err != nil {
+			return m, err
+		}
+	}
+	if t.pt.thenExit {
+		t.pt.exit()
+	}
+	return n, &injectedError{name: t.pt.name}
+}
+
+// Arm parses spec (see the package doc for the grammar) and installs it as
+// the complete armed set, replacing any prior arming.
+func Arm(spec string) error {
+	pts, err := parseSpec(spec)
+	if err != nil {
+		return err
+	}
+	registry.Store(&pts)
+	return nil
+}
+
+// Reset disarms every point.
+func Reset() { registry.Store(nil) }
+
+// Hits reports how many times the named point has been reached since it was
+// armed (whether or not it activated). Returns 0 for unarmed points.
+func Hits(name string) uint64 {
+	pt := lookup(name)
+	if pt == nil {
+		return 0
+	}
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	return pt.hits
+}
+
+func lookup(name string) *point {
+	reg := registry.Load()
+	if reg == nil {
+		return nil
+	}
+	return (*reg)[name]
+}
+
+// activate counts a hit and decides whether the fault fires, honouring
+// after=, times=, and the seeded probability gate.
+func (p *point) activate() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.hits++
+	if p.hits < p.after {
+		return false
+	}
+	if p.times > 0 && p.fired >= p.times {
+		return false
+	}
+	if p.seeded {
+		// splitmix64: the package's only randomness, reproducible from seed=.
+		p.rng += 0x9e3779b97f4a7c15
+		z := p.rng
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		if float64(z>>11)/(1<<53) >= p.prob {
+			return false
+		}
+	}
+	p.fired++
+	return true
+}
+
+// exit terminates the process without running deferred functions — the
+// crash model the chaos harness restarts from.
+func (p *point) exit() {
+	fmt.Fprintf(os.Stderr, "faults: injected exit at %s (code %d)\n", p.name, p.code)
+	os.Exit(p.code)
+}
+
+func parseSpec(spec string) (map[string]*point, error) {
+	pts := make(map[string]*point)
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(clause, "=")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" {
+			return nil, fmt.Errorf("faults: clause %q: want point=action[,opts]", clause)
+		}
+		opts := strings.Split(rest, ",")
+		pt := &point{name: name, action: strings.TrimSpace(opts[0]), after: 1, code: ExitCode}
+		switch pt.action {
+		case "error", "latency", "torn", "panic", "exit":
+		default:
+			return nil, fmt.Errorf("faults: point %s: unknown action %q", name, pt.action)
+		}
+		if pt.action == "latency" {
+			pt.delay = 10 * time.Millisecond
+		}
+		for _, kv := range opts[1:] {
+			k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				return nil, fmt.Errorf("faults: point %s: option %q: want key=value", name, kv)
+			}
+			var err error
+			switch k {
+			case "after":
+				pt.after, err = strconv.ParseUint(v, 10, 64)
+				if err == nil && pt.after == 0 {
+					err = errors.New("after must be >= 1")
+				}
+			case "times":
+				pt.times, err = strconv.ParseUint(v, 10, 64)
+			case "p":
+				pt.prob, err = strconv.ParseFloat(v, 64)
+				if err == nil && (pt.prob < 0 || pt.prob > 1) {
+					err = errors.New("p must be in [0,1]")
+				}
+				pt.seeded = true
+			case "seed":
+				pt.rng, err = strconv.ParseUint(v, 10, 64)
+			case "delay":
+				pt.delay, err = time.ParseDuration(v)
+			case "code":
+				pt.code, err = strconv.Atoi(v)
+			case "then":
+				if v != "exit" {
+					err = fmt.Errorf("unknown then=%q (only exit)", v)
+				}
+				pt.thenExit = true
+			default:
+				err = errors.New("unknown option")
+			}
+			if err != nil {
+				return nil, fmt.Errorf("faults: point %s: option %q: %v", name, kv, err)
+			}
+		}
+		if pt.thenExit && pt.action != "torn" {
+			return nil, fmt.Errorf("faults: point %s: then=exit only applies to torn", name)
+		}
+		pts[name] = pt
+	}
+	return pts, nil
+}

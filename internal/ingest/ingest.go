@@ -27,12 +27,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/memes-pipeline/memes/internal/dataset"
+	"github.com/memes-pipeline/memes/internal/faults"
 	"github.com/memes-pipeline/memes/internal/phash"
 	"github.com/memes-pipeline/memes/internal/pipeline"
 )
@@ -44,6 +47,14 @@ var ErrPoolFull = errors.New("ingest: pending pool full")
 
 // ErrClosed rejects ingests after Close.
 var ErrClosed = errors.New("ingest: ingestor closed")
+
+// ErrJournalDegraded rejects an ingest batch whose journal append kept
+// failing after the whole retry budget: the durability guarantee cannot be
+// given, so the batch is refused rather than acknowledged un-journaled. The
+// ingestor stays degraded (Stats().Degraded) until an append succeeds again;
+// the serving layer maps this to read-only mode — queries keep serving,
+// ingests return 503.
+var ErrJournalDegraded = errors.New("ingest: journal degraded")
 
 // Config parameterises an Ingestor. Match and Publish are the two hooks into
 // the serving layer; everything else has a usable default.
@@ -61,6 +72,14 @@ type Config struct {
 	// DeltaDir is the journal directory; empty disables persistence (posts
 	// survive re-clusters but not restarts).
 	DeltaDir string
+	// JournalAttempts is the total number of times one batch's journal
+	// append is tried before the ingestor declares itself degraded and
+	// refuses the batch. Default 3.
+	JournalAttempts int
+	// JournalBackoff is the delay before the first journal retry; each
+	// further retry doubles it, capped at maxJournalBackoff. The schedule is
+	// fixed (no jitter) so failure timelines replay identically. Default 2ms.
+	JournalBackoff time.Duration
 	// Match probes a hash against the currently served engine; ok means the
 	// post is servable without a re-cluster.
 	Match func(ctx context.Context, h phash.Hash) (ok bool, err error)
@@ -80,8 +99,17 @@ func (c Config) withDefaults() Config {
 	if c.CompactAfter <= 0 {
 		c.CompactAfter = 8
 	}
+	if c.JournalAttempts <= 0 {
+		c.JournalAttempts = 3
+	}
+	if c.JournalBackoff <= 0 {
+		c.JournalBackoff = 2 * time.Millisecond
+	}
 	return c
 }
+
+// maxJournalBackoff caps the doubling journal retry delay.
+const maxJournalBackoff = 50 * time.Millisecond
 
 // Receipt acknowledges one accepted ingest batch.
 type Receipt struct {
@@ -114,6 +142,15 @@ type Stats struct {
 	Compactions       int64
 	DeltaSegments     int
 	Seq               uint64
+	// JournalRetries counts individual journal append retries (backoff
+	// sleeps); JournalFailures counts batches refused after the whole retry
+	// budget; TornTails counts torn journal tails repaired during Replay.
+	JournalRetries  int64
+	JournalFailures int64
+	TornTails       int64
+	// Degraded reports read-only mode: the last journal append exhausted its
+	// retry budget and no append has succeeded since.
+	Degraded bool
 }
 
 // Ingestor absorbs posts at runtime; see the package comment. Construct with
@@ -135,6 +172,8 @@ type Ingestor struct {
 	closed   bool
 	inFlight bool // background re-cluster goroutine running
 	needs    bool // absorbed posts await a successful rebuild (retry flag)
+	degraded bool // last journal append exhausted its retry budget
+	broken   bool // torn bytes could not be rolled back; journal unusable
 	wg       sync.WaitGroup
 
 	ingested          int64
@@ -143,6 +182,9 @@ type Ingestor struct {
 	reclusters        int64
 	reclusterFailures int64
 	compactions       int64
+	journalRetries    int64
+	journalFailures   int64
+	tornTails         int64
 }
 
 // New wraps an incremental pipeline state in an Ingestor. The state must be
@@ -216,7 +258,7 @@ func (g *Ingestor) Ingest(ctx context.Context, posts []dataset.Post) (Receipt, e
 		g.rejected += int64(len(posts))
 		return Receipt{}, ErrPoolFull
 	}
-	if err := g.journalLocked(posts); err != nil {
+	if err := g.journalLocked(ctx, posts); err != nil {
 		g.rejected += int64(len(posts))
 		return Receipt{}, err
 	}
@@ -240,14 +282,57 @@ func (g *Ingestor) Ingest(ctx context.Context, posts []dataset.Post) (Receipt, e
 	}, nil
 }
 
-// journalLocked appends one MEMEDELT frame for the batch to the active
-// journal segment, opening a fresh segment (named by its starting sequence)
-// when none is active. Persistence disabled → no-op.
-func (g *Ingestor) journalLocked(posts []dataset.Post) error {
+// journalLocked makes one batch durable: it appends a MEMEDELT frame to the
+// active journal segment, retrying transient failures with a capped,
+// deterministic, doubling backoff. Exhausting the budget flips the ingestor
+// into degraded (read-only) mode and refuses the batch with
+// ErrJournalDegraded; the next successful append clears the flag.
+// Persistence disabled → no-op.
+func (g *Ingestor) journalLocked(ctx context.Context, posts []dataset.Post) error {
 	if g.cfg.DeltaDir == "" {
 		return nil
 	}
+	if g.broken {
+		return fmt.Errorf("%w: torn segment could not be repaired", ErrJournalDegraded)
+	}
+	var lastErr error
+	for attempt := 0; attempt < g.cfg.JournalAttempts; attempt++ {
+		if attempt > 0 {
+			g.journalRetries++
+			backoff := g.cfg.JournalBackoff << (attempt - 1)
+			if backoff > maxJournalBackoff {
+				backoff = maxJournalBackoff
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(backoff):
+			}
+		}
+		err := g.appendFrameLocked(posts)
+		if err == nil {
+			g.degraded = false
+			return nil
+		}
+		lastErr = err
+		if g.broken {
+			break
+		}
+	}
+	g.degraded = true
+	g.journalFailures++
+	return fmt.Errorf("%w: %d attempts exhausted: %w", ErrJournalDegraded, g.cfg.JournalAttempts, lastErr)
+}
+
+// appendFrameLocked writes and syncs one frame, opening a fresh segment
+// (named by its starting sequence) when none is active. A failed write rolls
+// the file back to the pre-frame offset so torn bytes never poison the
+// segment's framing for later appends.
+func (g *Ingestor) appendFrameLocked(posts []dataset.Post) error {
 	if g.seg == nil {
+		if err := faults.Inject("journal.open"); err != nil {
+			return fmt.Errorf("ingest: opening journal segment: %w", err)
+		}
 		name := filepath.Join(g.cfg.DeltaDir, fmt.Sprintf("delta-%016d.dlt", g.seq))
 		f, err := os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
 		if err != nil {
@@ -256,14 +341,37 @@ func (g *Ingestor) journalLocked(posts []dataset.Post) error {
 		g.seg = f
 		g.segs++
 	}
+	off, err := g.seg.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return fmt.Errorf("ingest: locating journal tail: %w", err)
+	}
 	d := pipeline.Delta{FromSeq: g.seq, Posts: posts}
-	if err := pipeline.SaveDelta(g.seg, &d); err != nil {
-		return fmt.Errorf("ingest: journaling batch: %w", err)
+	err = faults.Inject("journal.append.write")
+	if err == nil {
+		err = pipeline.SaveDelta(faults.WrapWriter("journal.append.write", g.seg), &d)
 	}
-	if err := g.seg.Sync(); err != nil {
-		return fmt.Errorf("ingest: syncing journal: %w", err)
+	if err == nil {
+		err = g.seg.Sync()
 	}
-	return nil
+	if err == nil {
+		// Crash site: the frame is durable but the caller was never acked.
+		// Replay treats journal contents, not acks, as truth.
+		err = faults.Inject("journal.append.sync")
+	}
+	if err == nil {
+		return nil
+	}
+	if terr := g.seg.Truncate(off); terr == nil {
+		_, terr = g.seg.Seek(off, io.SeekStart)
+		if terr == nil {
+			return fmt.Errorf("ingest: journaling batch: %w", err)
+		}
+	}
+	// The rollback itself failed: the segment may hold torn bytes at an
+	// unknown offset, so no further append can be trusted until a restart
+	// replays and repairs it.
+	g.broken = true
+	return fmt.Errorf("%w: journaling batch: %v (rollback failed)", ErrJournalDegraded, err)
 }
 
 // scheduleLocked starts the background re-cluster goroutine unless one is
@@ -334,6 +442,9 @@ func (g *Ingestor) Recluster(ctx context.Context) error {
 		g.mu.Unlock()
 		return err
 	}
+	// Crash site: the journal is sealed and the rebuild done, but nothing
+	// has published yet — restart must replay to the same state.
+	_ = faults.Inject("recluster.publish")
 	g.cfg.Publish(b)
 	g.mu.Lock()
 	g.reclusters++
@@ -412,7 +523,12 @@ func (g *Ingestor) compact(ctx context.Context, cur *pipeline.BuildResult, folde
 	}
 
 	// Cleanup: stale segments, then stale bases. Failures here only leave
-	// harmless extra files behind, but are still reported.
+	// harmless extra files behind, but are still reported. Crash site: dying
+	// here leaves the merged head overlapping the old segments, which
+	// SpliceDeltas tolerates on replay.
+	if err := faults.Inject("compact.cleanup"); err != nil {
+		return err
+	}
 	removed := 0
 	for _, name := range merged {
 		if name == headName {
@@ -471,10 +587,52 @@ func (g *Ingestor) Replay(ctx context.Context, folded uint64) (int, error) {
 		return 0, err
 	}
 	var frames []pipeline.Delta
-	for _, name := range names {
-		fs, err := readSegment(filepath.Join(g.cfg.DeltaDir, name))
+	segs := len(names)
+	torn := int64(0)
+	for i, name := range names {
+		path := filepath.Join(g.cfg.DeltaDir, name)
+		if i < len(names)-1 {
+			// Interior segments were sealed by a clean close or written
+			// atomically by compaction; anything unparseable in them is
+			// corruption, not a crash signature — stay strict and loud.
+			fs, err := readSegment(path)
+			if err != nil {
+				return 0, fmt.Errorf("ingest: replaying %s: %w", name, err)
+			}
+			frames = append(frames, fs...)
+			continue
+		}
+		// Only the last segment can hold a torn tail: it was the active
+		// append target when the process died. Salvage its durable frames
+		// and repair the file so future appends see clean framing.
+		data, err := os.ReadFile(path)
 		if err != nil {
 			return 0, fmt.Errorf("ingest: replaying %s: %w", name, err)
+		}
+		if len(data) == 0 {
+			// The process died between opening a fresh segment and writing
+			// its first frame. The empty file holds nothing to replay but
+			// squats on the name the next append will O_EXCL-create, so it
+			// must go.
+			if err := os.Remove(path); err != nil {
+				return 0, fmt.Errorf("ingest: removing empty %s: %w", name, err)
+			}
+			segs--
+			continue
+		}
+		fs, validLen, isTorn := pipeline.ReadDeltasTolerant(data)
+		if isTorn {
+			torn++
+			if validLen == 0 {
+				// No durable frame: remove the file outright, so the next
+				// append can recreate the same starting-sequence name.
+				if err := os.Remove(path); err != nil {
+					return 0, fmt.Errorf("ingest: repairing torn %s: %w", name, err)
+				}
+				segs--
+			} else if err := os.Truncate(path, validLen); err != nil {
+				return 0, fmt.Errorf("ingest: repairing torn %s: %w", name, err)
+			}
 		}
 		frames = append(frames, fs...)
 	}
@@ -498,10 +656,19 @@ func (g *Ingestor) Replay(ctx context.Context, folded uint64) (int, error) {
 	}
 	g.mu.Lock()
 	g.seq = covered
-	g.segs = len(names)
+	g.segs = segs
 	g.ingested += int64(len(posts))
+	g.tornTails += torn
 	g.mu.Unlock()
 	return len(posts), nil
+}
+
+// Degraded reports whether the ingestor is in read-only mode: the last
+// journal append exhausted its retry budget and none has succeeded since.
+func (g *Ingestor) Degraded() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.degraded || g.broken
 }
 
 // Stats snapshots the counters.
@@ -519,6 +686,10 @@ func (g *Ingestor) Stats() Stats {
 		Compactions:       g.compactions,
 		DeltaSegments:     g.segs,
 		Seq:               g.seq,
+		JournalRetries:    g.journalRetries,
+		JournalFailures:   g.journalFailures,
+		TornTails:         g.tornTails,
+		Degraded:          g.degraded || g.broken,
 	}
 }
 
@@ -633,15 +804,28 @@ func writeFileAtomic(path string, data []byte) error {
 		return err
 	}
 	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(data); err != nil {
+	err = faults.Inject("snapshot.write")
+	if err == nil {
+		_, err = faults.WrapWriter("snapshot.write", tmp).Write(data)
+	}
+	if err != nil {
 		tmp.Close()
 		return err
 	}
-	if err := tmp.Sync(); err != nil {
+	err = tmp.Sync()
+	if err == nil {
+		err = faults.Inject("snapshot.sync")
+	}
+	if err != nil {
 		tmp.Close()
 		return err
 	}
 	if err := tmp.Close(); err != nil {
+		return err
+	}
+	// Crash site: a synced temp file that never renamed is invisible to
+	// readers — restart sees the previous base plus the full journal.
+	if err := faults.Inject("snapshot.rename"); err != nil {
 		return err
 	}
 	return os.Rename(tmp.Name(), path)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"sync/atomic"
@@ -397,4 +398,120 @@ func TestLatestBaseMissingDir(t *testing.T) {
 	if err != nil || ok {
 		t.Errorf("LatestBase on missing dir: ok=%v err=%v", ok, err)
 	}
+}
+
+// TestIngestReplayRepairsTornAndEmptyTails pins the two crash signatures a
+// dying append can leave in the active segment — a torn half-written frame
+// and a zero-byte file opened but never written — and the regression that an
+// unremoved empty segment makes the next append's O_EXCL create collide.
+// After each repair, further appends must keep the bitwise determinism
+// contract.
+func TestIngestReplayRepairsTornAndEmptyTails(t *testing.T) {
+	full, base, live, site := carve(t, 60)
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	// checkpoint asserts the published build is bitwise a from-scratch build
+	// over the base corpus plus the first n live posts.
+	var pcfg pipeline.Config
+	checkpoint := func(t *testing.T, cur *atomic.Pointer[pipeline.BuildResult], n int) {
+		t.Helper()
+		union := *full
+		k := len(base.Posts) + n
+		union.Posts = full.Posts[:k:k]
+		ref, err := pipeline.Build(ctx, &union, site, pcfg, nil)
+		if err != nil {
+			t.Fatalf("reference Build: %v", err)
+		}
+		if !bytes.Equal(saveBytes(t, cur.Load()), saveBytes(t, ref)) {
+			t.Errorf("engine diverges bitwise from a from-scratch build over base + %d live posts", n)
+		}
+	}
+
+	g, _, pc := harness(t, base, site, Config{Threshold: 1 << 20, DeltaDir: dir})
+	pcfg = pc
+	if _, err := g.Ingest(ctx, live[:20]); err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	if err := g.Recluster(ctx); err != nil {
+		t.Fatalf("Recluster: %v", err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Crash signature 1: the process died mid-append, leaving garbage after
+	// the last durable frame of the active segment.
+	segs, err := journalSegments(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("journalSegments: %v (%d segments)", err, len(segs))
+	}
+	last := filepath.Join(dir, segs[len(segs)-1])
+	f, err := os.OpenFile(last, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	if _, err := f.Write([]byte("torn mid-frame garbage")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	g2, cur2, _ := harness(t, base, site, Config{Threshold: 1 << 20, DeltaDir: dir})
+	n, err := g2.Replay(ctx, 0)
+	if err != nil {
+		t.Fatalf("Replay over torn tail: %v", err)
+	}
+	if n != 20 {
+		t.Errorf("replayed %d posts, want 20 (the durable frame)", n)
+	}
+	st := g2.Stats()
+	if st.TornTails != 1 || st.Seq != 20 {
+		t.Errorf("stats after torn replay = %+v, want 1 torn tail at seq 20", st)
+	}
+	checkpoint(t, cur2, 20)
+
+	// The repaired segment must accept further appends.
+	if _, err := g2.Ingest(ctx, live[20:40]); err != nil {
+		t.Fatalf("post-repair Ingest: %v", err)
+	}
+	if err := g2.Recluster(ctx); err != nil {
+		t.Fatalf("post-repair Recluster: %v", err)
+	}
+	checkpoint(t, cur2, 40)
+	if err := g2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Crash signature 2: the process died between O_EXCL-opening a fresh
+	// segment and writing its first frame. The empty file squats on the name
+	// the next append will recreate; replay must remove it.
+	empty := filepath.Join(dir, fmt.Sprintf("delta-%016d.dlt", 40))
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+
+	g3, cur3, _ := harness(t, base, site, Config{Threshold: 1 << 20, DeltaDir: dir})
+	n, err = g3.Replay(ctx, 0)
+	if err != nil {
+		t.Fatalf("Replay over empty tail: %v", err)
+	}
+	if n != 40 {
+		t.Errorf("replayed %d posts, want 40", n)
+	}
+	if st := g3.Stats(); st.Seq != 40 || st.TornTails != 0 {
+		t.Errorf("stats after empty-tail replay = %+v, want seq 40 and no torn tails", st)
+	}
+	if _, err := os.Stat(empty); !os.IsNotExist(err) {
+		t.Errorf("empty segment survived replay (stat err = %v)", err)
+	}
+	// The regression: appending must not collide with the removed name.
+	if _, err := g3.Ingest(ctx, live[40:60]); err != nil {
+		t.Fatalf("post-removal Ingest: %v", err)
+	}
+	if err := g3.Recluster(ctx); err != nil {
+		t.Fatalf("post-removal Recluster: %v", err)
+	}
+	checkpoint(t, cur3, 60)
 }

@@ -10,6 +10,10 @@ func TestDetOrderIngest(t *testing.T) {
 	RunAnalyzerTest(t, DetOrder, "example.com/memes/internal/ingest")
 }
 
+func TestDetOrderFaults(t *testing.T) {
+	RunAnalyzerTest(t, DetOrder, "example.com/memes/internal/faults")
+}
+
 func TestDetOrderOutOfScope(t *testing.T) {
 	RunAnalyzerTest(t, DetOrder, "example.com/memes/internal/config")
 }
@@ -25,6 +29,8 @@ func TestScopeGating(t *testing.T) {
 	}{
 		{"github.com/memes-pipeline/memes/internal/ingest", true, true},
 		{"example.com/memes/internal/ingest", true, true},
+		{"github.com/memes-pipeline/memes/internal/faults", true, true},
+		{"example.com/memes/internal/faults", true, true},
 		{"github.com/memes-pipeline/memes/internal/pipeline", true, true},
 		{"github.com/memes-pipeline/memes", true, true},
 		{"github.com/memes-pipeline/memes/internal/server", false, true},

@@ -227,6 +227,7 @@ var deterministicScopes = []string{
 	"internal/cluster",
 	"internal/index",
 	"internal/ingest",
+	"internal/faults",
 	"internal/phash",
 	"memes", // the module root package
 }

@@ -1,0 +1,45 @@
+// Package faults is the detorder fixture for the fault-injection scope: the
+// real internal/faults promises reproducible activation decisions (seeded
+// splitmix64, after=/times= hit counters), so ambient randomness and clock
+// reads in firing logic are reportable exactly as in internal/pipeline —
+// a chaos run that cannot be replayed bit-for-bit tests nothing.
+package faults
+
+import (
+	"sort"
+	"time"
+)
+
+func armedNamesLeaky(reg map[string]int) []string {
+	var out []string
+	for name := range reg { // want "range over map reg"
+		out = append(out, name)
+	}
+	return out
+}
+
+func armedNamesSorted(reg map[string]int) []string {
+	out := make([]string, 0, len(reg))
+	for name := range reg { // ok: appended slice is sorted after the loop
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func totalHits(reg map[string]int) int {
+	n := 0
+	for _, hits := range reg { // ok: accumulation commutes
+		n += hits
+	}
+	return n
+}
+
+func seedFromClock() uint64 {
+	return uint64(time.Now().UnixNano()) // want "time.Now"
+}
+
+//memes:nondet latency injection measures real elapsed time by design
+func latencyOverrun(start time.Time, want time.Duration) time.Duration {
+	return time.Since(start) - want
+}

@@ -1,0 +1,105 @@
+package pipeline
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"github.com/memes-pipeline/memes/internal/dataset"
+)
+
+// ReadDeltasTolerant parses delta frames from the head of data, stopping at
+// the first frame that does not parse cleanly instead of rejecting the whole
+// stream. It exists for the crash-recovery path: an append that died mid-
+// frame (power cut, injected exit) leaves a torn tail after the last durable
+// frame, and restart must salvage every acknowledged frame rather than
+// refuse the journal the way the strict ReadDeltas does.
+//
+// Returns the cleanly parsed frames, the byte offset where clean framing
+// ends (truncate the file here to repair it), and torn=true when trailing
+// bytes were discarded. torn is only a crash signature when the tear is at
+// the physical end of the segment being appended to; callers are expected to
+// treat a tear anywhere else (interior segments) as corruption and stay
+// loud.
+func ReadDeltasTolerant(data []byte) (frames []Delta, validLen int64, torn bool) {
+	for int(validLen) < len(data) {
+		d, n, err := readOneDelta(data[validLen:])
+		if err != nil {
+			return frames, validLen, true
+		}
+		frames = append(frames, d)
+		validLen += n
+	}
+	return frames, validLen, false
+}
+
+// readOneDelta parses exactly one frame from the head of b, returning the
+// frame and the number of bytes it occupies.
+func readOneDelta(b []byte) (Delta, int64, error) {
+	if len(b) < 12 {
+		return Delta{}, 0, io.ErrUnexpectedEOF
+	}
+	if [8]byte(b[:8]) != deltaMagic {
+		return Delta{}, 0, errors.New("bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(b[8:12]); v != deltaVersion {
+		return Delta{}, 0, fmt.Errorf("unsupported version %d", v)
+	}
+
+	// The decoder feeds every consumed byte to its crc writer, so chaining a
+	// counter onto it measures the payload length exactly.
+	crc := crc32.NewIEEE()
+	var count countingWriter
+	dec := &snapDecoder{r: bufio.NewReader(bytes.NewReader(b[12:])), crc: io.MultiWriter(crc, &count)}
+	d := Delta{FromSeq: dec.uvarint()}
+	n := int(dec.uvarint())
+	if dec.err == nil && n > 0 {
+		capHint := n
+		if capHint > maxDeltaPosts {
+			capHint = maxDeltaPosts
+		}
+		d.Posts = make([]dataset.Post, 0, capHint)
+	}
+	for i := 0; i < n && dec.err == nil; i++ {
+		var p dataset.Post
+		p.ID = dec.varint()
+		p.Community = dataset.Community(dec.uvarint())
+		p.Subreddit = dec.string()
+		p.Timestamp = timeFromUnixNano(dec.varint())
+		p.HasImage = dec.bool()
+		p.Hash = dec.uint64()
+		p.Score = int(dec.varint())
+		p.TruthMeme = int(dec.varint())
+		p.TruthRoot = int(dec.varint())
+		d.Posts = append(d.Posts, p)
+	}
+	if dec.err != nil {
+		return Delta{}, 0, dec.err
+	}
+
+	payload := count.n
+	crcEnd := 12 + payload + 4
+	if int64(len(b)) < crcEnd {
+		return Delta{}, 0, io.ErrUnexpectedEOF
+	}
+	if got := binary.LittleEndian.Uint32(b[12+payload:]); got != crc.Sum32() {
+		return Delta{}, 0, errors.New("checksum mismatch")
+	}
+	for i := range d.Posts {
+		if !d.Posts[i].Community.Valid() {
+			return Delta{}, 0, fmt.Errorf("post %d names invalid community %d", i, int(d.Posts[i].Community))
+		}
+	}
+	return d, crcEnd, nil
+}
+
+type countingWriter struct{ n int64 }
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}

@@ -1,0 +1,100 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+)
+
+// tolerantFixture is the delta fixture plus a third frame, so the sweep
+// exercises an interior boundary on both sides.
+func tolerantFixture() []Delta {
+	frames := deltaFixture()
+	frames = append(frames, Delta{FromSeq: 4, Posts: frames[0].Posts[:1]})
+	return frames
+}
+
+// frameBoundaries returns the byte offset where each frame's encoding ends.
+func frameBoundaries(t *testing.T, frames []Delta) []int {
+	t.Helper()
+	var ends []int
+	for i := range frames {
+		ends = append(ends, len(deltaBytes(t, frames[:i+1])))
+	}
+	return ends
+}
+
+// TestTolerantReadEveryTruncation sweeps every possible crash point of an
+// append: for each prefix length of a three-frame journal, the tolerant
+// reader must salvage exactly the frames whose encodings completed, report
+// the repair offset at the last clean boundary, and flag a tear iff the cut
+// landed mid-frame. This is the exhaustive form of the torn-tail contract
+// the chaos suite exercises at one injection site.
+func TestTolerantReadEveryTruncation(t *testing.T) {
+	frames := tolerantFixture()
+	stream := deltaBytes(t, frames)
+	ends := frameBoundaries(t, frames)
+
+	for n := 0; n <= len(stream); n++ {
+		wantFrames, wantValid := 0, 0
+		for _, e := range ends {
+			if e <= n {
+				wantFrames++
+				wantValid = e
+			}
+		}
+		got, validLen, torn := ReadDeltasTolerant(stream[:n])
+		if len(got) != wantFrames {
+			t.Fatalf("cut at %d: salvaged %d frames, want %d", n, len(got), wantFrames)
+		}
+		if validLen != int64(wantValid) {
+			t.Fatalf("cut at %d: validLen = %d, want %d", n, validLen, wantValid)
+		}
+		if wantTorn := n != wantValid; torn != wantTorn {
+			t.Fatalf("cut at %d: torn = %v, want %v", n, torn, wantTorn)
+		}
+		if !reflect.DeepEqual(got, frames[:wantFrames]) && wantFrames > 0 {
+			t.Fatalf("cut at %d: salvaged frames diverge from the originals", n)
+		}
+	}
+}
+
+// TestTolerantReadEveryByteFlip corrupts each byte of the journal in turn:
+// every frame before the corrupted one must survive intact, parsing must
+// stop at the last clean boundary before the corruption, and the tear must
+// be flagged. No single-byte corruption may ever extend the salvage past a
+// frame that fails its checksum.
+func TestTolerantReadEveryByteFlip(t *testing.T) {
+	frames := tolerantFixture()
+	stream := deltaBytes(t, frames)
+	ends := frameBoundaries(t, frames)
+
+	corrupt := make([]byte, len(stream))
+	for i := 0; i < len(stream); i++ {
+		copy(corrupt, stream)
+		corrupt[i] ^= 0xff
+		wantFrames, wantValid := 0, 0
+		for _, e := range ends {
+			if e <= i {
+				wantFrames++
+				wantValid = e
+			}
+		}
+		got, validLen, torn := ReadDeltasTolerant(corrupt)
+		if !torn {
+			t.Fatalf("byte %d flipped: corruption not flagged as a tear", i)
+		}
+		if len(got) != wantFrames || validLen != int64(wantValid) {
+			t.Fatalf("byte %d flipped: salvaged %d frames to offset %d, want %d to %d",
+				i, len(got), validLen, wantFrames, wantValid)
+		}
+		if wantFrames > 0 && !reflect.DeepEqual(got, frames[:wantFrames]) {
+			t.Fatalf("byte %d flipped: surviving frames diverge from the originals", i)
+		}
+	}
+
+	// And the pristine stream still reads whole.
+	got, validLen, torn := ReadDeltasTolerant(stream)
+	if torn || validLen != int64(len(stream)) || !reflect.DeepEqual(got, frames) {
+		t.Fatalf("pristine journal: %d frames, validLen %d, torn %v", len(got), validLen, torn)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"github.com/memes-pipeline/memes/internal/annotate"
 	"github.com/memes-pipeline/memes/internal/cluster"
 	"github.com/memes-pipeline/memes/internal/dataset"
+	"github.com/memes-pipeline/memes/internal/faults"
 	"github.com/memes-pipeline/memes/internal/index"
 	"github.com/memes-pipeline/memes/internal/parallel"
 	"github.com/memes-pipeline/memes/internal/phash"
@@ -621,6 +622,9 @@ func loadBuildV2(data []byte, site *annotate.Site, ds *dataset.Dataset, reconfig
 // engine's lifetime (the exported query surface copies everything it
 // returns).
 func LoadBuildFile(path string, site *annotate.Site, ds *dataset.Dataset, reconfig func(*Config), progress ProgressFunc) (*BuildResult, error) {
+	if err := faults.Inject("pipeline.load"); err != nil {
+		return nil, fmt.Errorf("pipeline: loading snapshot: %w", err)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: opening snapshot: %w", err)

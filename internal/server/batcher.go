@@ -3,8 +3,10 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 
 	"github.com/memes-pipeline/memes"
+	"github.com/memes-pipeline/memes/internal/faults"
 )
 
 // errBatcherClosed is returned to lookups that race the server shutdown.
@@ -41,8 +43,11 @@ type batcher struct {
 }
 
 // matchReq is one queued lookup; resp is buffered so the dispatcher never
-// blocks on a caller that gave up (context cancellation).
+// blocks on a caller that gave up (context cancellation). ctx lets the
+// dispatcher drop a request whose caller's deadline expired while it sat in
+// the queue instead of spending engine work on an answer nobody reads.
 type matchReq struct {
+	ctx  context.Context
 	hash memes.Hash
 	resp chan matchOut
 }
@@ -79,7 +84,7 @@ func newBatcher(hot *memes.HotEngine, maxBatch int, stats *counters) *batcher {
 
 // Match queues one lookup and waits for its batch to be answered.
 func (b *batcher) Match(ctx context.Context, h memes.Hash) matchOut {
-	req := &matchReq{hash: h, resp: make(chan matchOut, 1)}
+	req := &matchReq{ctx: ctx, hash: h, resp: make(chan matchOut, 1)}
 	select {
 	case b.reqs <- req:
 	case <-ctx.Done():
@@ -136,9 +141,34 @@ func (b *batcher) run() {
 					break drain
 				}
 			}
-			b.flush()
+			b.safeFlush()
 		}
 	}
+}
+
+// safeFlush guards the dispatcher goroutine against a panicking flush (a
+// poisoned engine, an injected batcher.dispatch panic): the panic is
+// contained, counted, and every queued caller gets an error instead of a
+// hang — the process and the dispatcher both survive. Deliberately not
+// annotated //memes:noalloc: the recovery path is off the steady state.
+func (b *batcher) safeFlush() {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		b.stats.panics.Add(1)
+		err := fmt.Errorf("server: match dispatch panicked: %v", r)
+		for _, req := range b.batch {
+			// Non-blocking: flush may have answered some requests before
+			// panicking, and their one-slot buffers may still be full.
+			select {
+			case req.resp <- matchOut{err: err}:
+			default:
+			}
+		}
+	}()
+	b.flush()
 }
 
 // flush answers the coalesced batch in b.batch with a single AssociateAppend
@@ -152,13 +182,32 @@ func (b *batcher) run() {
 //
 //memes:noalloc
 func (b *batcher) flush() {
+	// Drop lookups whose caller's deadline expired while they queued: the
+	// caller has already returned, so engine work on them is wasted. The
+	// buffered reply is still sent so a caller racing the expiry never
+	// hangs.
+	kept := b.batch[:0]
+	for _, req := range b.batch {
+		if cerr := req.ctx.Err(); cerr != nil {
+			req.resp <- matchOut{err: cerr}
+			continue
+		}
+		kept = append(kept, req)
+	}
+	b.batch = kept
+	if len(b.batch) == 0 {
+		return
+	}
+
 	eng, gen := b.hot.Pin()
 	b.posts = b.posts[:0]
 	for _, req := range b.batch {
 		b.posts = append(b.posts, memes.Post{HasImage: true, Hash: uint64(req.hash)})
 	}
-	var err error
-	b.assocs, err = eng.AssociateAppend(context.Background(), b.posts, b.assocs[:0])
+	err := faults.Inject("batcher.dispatch")
+	if err == nil {
+		b.assocs, err = eng.AssociateAppend(context.Background(), b.posts, b.assocs[:0])
+	}
 	if err != nil {
 		for _, req := range b.batch {
 			req.resp <- matchOut{err: err}

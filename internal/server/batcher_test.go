@@ -57,7 +57,7 @@ func TestBatcherCoalescesQueuedLookups(t *testing.T) {
 	// the non-blocking drain must coalesce all of them into one flush.
 	reqs := make([]*matchReq, len(hashes))
 	for i, h := range hashes {
-		reqs[i] = &matchReq{hash: h, resp: make(chan matchOut, 1)}
+		reqs[i] = &matchReq{ctx: context.Background(), hash: h, resp: make(chan matchOut, 1)}
 		b.reqs <- reqs[i]
 	}
 	go b.run()

@@ -18,7 +18,8 @@
 //	POST /v1/match/image   raw image bytes          pHash (Step 1) + lookup
 //	POST /v1/ingest        {"posts":[…]}            absorb new posts (streaming ingest)
 //	GET  /v1/healthz                                liveness + resident artifact shape
-//	GET  /v1/statsz                                 request/batch/build/ingest counters
+//	GET  /v1/readyz                                 readiness (engine resident ∧ journal writable)
+//	GET  /v1/statsz                                 request/batch/build/ingest/overload counters
 //	GET  /v1/clusters                               the annotated-cluster artifact
 //	POST /v1/admin/reload                           hot-swap a fresh snapshot
 //
@@ -28,6 +29,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -54,6 +56,14 @@ const DefaultMaxBatch = 256
 // DefaultMaxBodyBytes bounds request bodies (associate batches, images).
 const DefaultMaxBodyBytes = 32 << 20
 
+// DefaultMaxInFlight bounds concurrently admitted requests; excess load is
+// shed with 503 + Retry-After instead of queueing without bound.
+const DefaultMaxInFlight = 1024
+
+// DefaultRequestTimeout is the per-request deadline the serving middleware
+// applies to query and ingest handlers.
+const DefaultRequestTimeout = 30 * time.Second
+
 // Config configures New.
 type Config struct {
 	// Loader produces the serving engine; it is called once by New and
@@ -70,6 +80,13 @@ type Config struct {
 	// feeds (typically memes.NewIngestor over the serving corpus). Nil
 	// disables the endpoint (503).
 	Ingest func(*memes.HotEngine) (*memes.Ingestor, error)
+	// MaxInFlight bounds concurrently admitted requests (health and stats
+	// endpoints are exempt); 0 means DefaultMaxInFlight, negative disables
+	// admission control.
+	MaxInFlight int
+	// RequestTimeout is the deadline applied to each query/ingest request's
+	// context; 0 means DefaultRequestTimeout, negative disables it.
+	RequestTimeout time.Duration
 }
 
 // Server serves a resident engine over HTTP. Construct with New, expose
@@ -84,6 +101,10 @@ type Server struct {
 	loadedAt atomic.Value // time.Time of the last successful (re)load
 	reloadMu sync.Mutex   // serialises Reload; queries never take it
 	maxBody  int64
+
+	sem        chan struct{} // admission slots; nil disables admission control
+	reqTimeout time.Duration // per-request deadline; <= 0 disables
+	closed     atomic.Bool   // Close ran; readiness is permanently false
 }
 
 // New calls cfg.Loader once and returns a Server serving the result.
@@ -103,11 +124,23 @@ func New(cfg Config) (*Server, error) {
 	if maxBody <= 0 {
 		maxBody = DefaultMaxBodyBytes
 	}
+	maxInFlight := cfg.MaxInFlight
+	if maxInFlight == 0 {
+		maxInFlight = DefaultMaxInFlight
+	}
+	reqTimeout := cfg.RequestTimeout
+	if reqTimeout == 0 {
+		reqTimeout = DefaultRequestTimeout
+	}
 	s := &Server{
-		hot:     memes.NewHotEngine(eng),
-		loader:  cfg.Loader,
-		started: time.Now(),
-		maxBody: maxBody,
+		hot:        memes.NewHotEngine(eng),
+		loader:     cfg.Loader,
+		started:    time.Now(),
+		maxBody:    maxBody,
+		reqTimeout: reqTimeout,
+	}
+	if maxInFlight > 0 {
+		s.sem = make(chan struct{}, maxInFlight)
 	}
 	s.loadedAt.Store(time.Now())
 	s.batch = newBatcher(s.hot, maxBatch, &s.stats)
@@ -168,8 +201,11 @@ func (s *Server) Reload() (ReloadStatus, error) {
 // Close stops the ingestor (waiting out any in-flight re-cluster and
 // sealing the journal) and the micro-batcher. The Server must not serve
 // requests after Close; shut the http.Server down first (connection
-// draining), then Close.
+// draining), then Close. Idempotent: only the first call tears down.
 func (s *Server) Close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
 	if s.ingestor != nil {
 		s.ingestor.Close()
 	}
@@ -177,37 +213,179 @@ func (s *Server) Close() {
 }
 
 // Handler returns the server's HTTP handler. Method routing relies on the
-// stdlib mux, so wrong-method requests get 405 with an Allow header.
+// stdlib mux, so wrong-method requests get 405 with an Allow header. The mux
+// sits behind the hardening middleware — innermost to outermost: per-request
+// deadline, bounded-in-flight admission control, panic recovery — so an
+// overloaded, slow, or crashing handler degrades to clean error responses
+// instead of taking the process down. Health, readiness, and stats endpoints
+// bypass the deadline and admission layers: an operator must be able to
+// observe an overloaded node.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/associate", s.handleAssociate)
 	mux.HandleFunc("POST /v1/match", s.handleMatch)
 	mux.HandleFunc("POST /v1/match/image", s.handleMatchImage)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	mux.HandleFunc("GET /v1/statsz", s.handleStatsz)
 	mux.HandleFunc("GET /v1/clusters", s.handleClusters)
 	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	mux.HandleFunc("POST /v1/admin/reload", s.handleReload)
-	return mux
+	return s.withRecovery(s.withAdmission(s.withDeadline(mux)))
+}
+
+// observabilityExempt reports whether the path must stay reachable on an
+// overloaded or degraded node.
+func observabilityExempt(path string) bool {
+	switch path {
+	case "/v1/healthz", "/v1/readyz", "/v1/statsz":
+		return true
+	}
+	return false
+}
+
+// withDeadline bounds each request's context so one slow query (a huge
+// associate batch, a stalled client) cannot hold a worker forever. Reload is
+// exempt besides the observability endpoints: swapping a large snapshot in
+// legitimately outlives a query deadline.
+func (s *Server) withDeadline(next http.Handler) http.Handler {
+	if s.reqTimeout <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if observabilityExempt(r.URL.Path) || r.URL.Path == "/v1/admin/reload" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.reqTimeout)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// withAdmission bounds the number of concurrently served requests; load
+// beyond the bound is shed immediately with 503 + Retry-After rather than
+// queued, so latency stays flat and the node signals overload while it still
+// can.
+func (s *Server) withAdmission(next http.Handler) http.Handler {
+	if s.sem == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if observabilityExempt(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.stats.shed.Add(1)
+			s.writeError(w, http.StatusServiceUnavailable, reasonOverloaded, "server at max in-flight requests")
+			return
+		}
+		defer func() { <-s.sem }()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withRecovery is the outermost layer: a panicking handler is contained,
+// counted, and answered with a 500 — the process and every other in-flight
+// request survive. http.ErrAbortHandler is re-raised: it is the sanctioned
+// way to abort a response, not a crash.
+func (s *Server) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tw := &trackingWriter{ResponseWriter: w}
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			s.stats.panics.Add(1)
+			if !tw.wrote {
+				s.writeError(tw, http.StatusInternalServerError, reasonPanic, fmt.Sprintf("handler panicked: %v", rec))
+			}
+		}()
+		next.ServeHTTP(tw, r)
+	})
+}
+
+// trackingWriter records whether a response has started, so the recovery
+// layer knows if a 500 can still be written.
+type trackingWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (t *trackingWriter) WriteHeader(code int) {
+	t.wrote = true
+	t.ResponseWriter.WriteHeader(code)
+}
+
+func (t *trackingWriter) Write(b []byte) (int, error) {
+	t.wrote = true
+	return t.ResponseWriter.Write(b)
 }
 
 // --- responses ---------------------------------------------------------------
 
+// Machine-readable error reasons, carried in every error response so
+// clients and load balancers can react without parsing prose.
+const (
+	reasonBadRequest      = "bad_request"
+	reasonInternal        = "internal"
+	reasonOverloaded      = "overloaded"
+	reasonDeadline        = "deadline"
+	reasonCanceled        = "canceled"
+	reasonClosed          = "closed"
+	reasonPanic           = "panic"
+	reasonPoolFull        = "pool_full"
+	reasonIngestDisabled  = "ingest_disabled"
+	reasonJournalDegraded = "journal_degraded"
+	reasonReloadFailed    = "reload_failed"
+)
+
 type errorResponse struct {
-	Error string `json:"error"`
+	Error  string `json:"error"`
+	Reason string `json:"reason"`
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	if code >= 400 {
 		s.stats.errors.Add(1)
 	}
+	if code == http.StatusServiceUnavailable {
+		// Every 503 is retryable by construction (shed load, degraded
+		// journal, closing server); say so explicitly for clients and
+		// proxies that honour Retry-After.
+		w.Header().Set("Retry-After", "1")
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(v)
 }
 
-func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
-	s.writeJSON(w, code, errorResponse{Error: msg})
+func (s *Server) writeError(w http.ResponseWriter, code int, reason, msg string) {
+	s.writeJSON(w, code, errorResponse{Error: msg, Reason: reason})
+}
+
+// writeQueryError maps a query-path failure to its transport shape: expired
+// deadlines become 504, caller cancellations and server shutdown become 503,
+// anything else is a 500.
+func (s *Server) writeQueryError(w http.ResponseWriter, prefix string, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.stats.timeouts.Add(1)
+		s.writeError(w, http.StatusGatewayTimeout, reasonDeadline, prefix+": "+err.Error())
+	case errors.Is(err, context.Canceled):
+		s.writeError(w, http.StatusServiceUnavailable, reasonCanceled, prefix+": "+err.Error())
+	case errors.Is(err, errBatcherClosed):
+		s.writeError(w, http.StatusServiceUnavailable, reasonClosed, prefix+": "+err.Error())
+	default:
+		s.writeError(w, http.StatusInternalServerError, reasonInternal, prefix+": "+err.Error())
+	}
 }
 
 type associationJSON struct {
@@ -275,13 +453,13 @@ func (s *Server) handleAssociate(w http.ResponseWriter, r *http.Request) {
 		Posts []memes.Post `json:"posts"`
 	}
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(&req); err != nil {
-		s.writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		s.writeError(w, http.StatusBadRequest, reasonBadRequest, "decoding request: "+err.Error())
 		return
 	}
 	eng, gen := s.hot.Pin()
 	assocs, err := eng.Associate(r.Context(), req.Posts)
 	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, "associate: "+err.Error())
+		s.writeQueryError(w, "associate", err)
 		return
 	}
 	s.stats.associatedPosts.Add(int64(len(req.Posts)))
@@ -310,12 +488,12 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		Hash json.RawMessage `json:"hash"`
 	}
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(&req); err != nil {
-		s.writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		s.writeError(w, http.StatusBadRequest, reasonBadRequest, "decoding request: "+err.Error())
 		return
 	}
 	h, err := parseHash(req.Hash)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err.Error())
+		s.writeError(w, http.StatusBadRequest, reasonBadRequest, err.Error())
 		return
 	}
 	s.answerMatch(w, r, h)
@@ -325,13 +503,13 @@ func (s *Server) handleMatchImage(w http.ResponseWriter, r *http.Request) {
 	s.stats.matchImageRequests.Add(1)
 	img, _, err := image.Decode(http.MaxBytesReader(w, r.Body, s.maxBody))
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "decoding image: "+err.Error())
+		s.writeError(w, http.StatusBadRequest, reasonBadRequest, "decoding image: "+err.Error())
 		return
 	}
 	// Step 1 on the serve path: the pooled zero-alloc pHash.
 	h, err := memes.HashImage(img)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "hashing image: "+err.Error())
+		s.writeError(w, http.StatusBadRequest, reasonBadRequest, "hashing image: "+err.Error())
 		return
 	}
 	s.answerMatch(w, r, h)
@@ -342,7 +520,7 @@ func (s *Server) handleMatchImage(w http.ResponseWriter, r *http.Request) {
 func (s *Server) answerMatch(w http.ResponseWriter, r *http.Request, h memes.Hash) {
 	out := s.batch.Match(r.Context(), h)
 	if out.err != nil {
-		s.writeError(w, http.StatusServiceUnavailable, "match: "+out.err.Error())
+		s.writeQueryError(w, "match", out.err)
 		return
 	}
 	resp := matchResponse{
@@ -372,23 +550,30 @@ func (s *Server) answerMatch(w http.ResponseWriter, r *http.Request, h memes.Has
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.stats.ingestRequests.Add(1)
 	if s.ingestor == nil {
-		s.writeError(w, http.StatusServiceUnavailable, "ingest disabled: start the server with an ingest configuration")
+		s.writeError(w, http.StatusServiceUnavailable, reasonIngestDisabled, "ingest disabled: start the server with an ingest configuration")
 		return
 	}
 	var req struct {
 		Posts []memes.Post `json:"posts"`
 	}
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(&req); err != nil {
-		s.writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		s.writeError(w, http.StatusBadRequest, reasonBadRequest, "decoding request: "+err.Error())
 		return
 	}
 	rec, err := s.ingestor.Ingest(r.Context(), req.Posts)
 	if err != nil {
-		code := http.StatusBadRequest
-		if errors.Is(err, memes.ErrIngestPoolFull) || errors.Is(err, memes.ErrIngestorClosed) {
-			code = http.StatusServiceUnavailable
+		switch {
+		case errors.Is(err, memes.ErrIngestPoolFull):
+			s.writeError(w, http.StatusServiceUnavailable, reasonPoolFull, "ingest: "+err.Error())
+		case errors.Is(err, memes.ErrIngestJournalDegraded):
+			s.writeError(w, http.StatusServiceUnavailable, reasonJournalDegraded, "ingest: "+err.Error())
+		case errors.Is(err, memes.ErrIngestorClosed):
+			s.writeError(w, http.StatusServiceUnavailable, reasonClosed, "ingest: "+err.Error())
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			s.writeQueryError(w, "ingest", err)
+		default:
+			s.writeError(w, http.StatusBadRequest, reasonBadRequest, "ingest: "+err.Error())
 		}
-		s.writeError(w, code, "ingest: "+err.Error())
 		return
 	}
 	s.writeJSON(w, http.StatusOK, ingestResponse{
@@ -399,6 +584,33 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		Seq:        rec.Seq,
 		Generation: s.hot.Generation(),
 	})
+}
+
+type readyResponse struct {
+	Ready      bool   `json:"ready"`
+	Reason     string `json:"reason,omitempty"`
+	Generation uint64 `json:"generation"`
+}
+
+// handleReadyz answers readiness, as distinct from handleHealthz's liveness:
+// healthz says the process is up and holding an engine; readyz says this
+// node should receive traffic. A node serving read-only because its journal
+// degraded is alive but not ready — a fleet's front door drains it while
+// queries in flight still complete.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	_, gen := s.hot.Pin()
+	reason := ""
+	switch {
+	case s.closed.Load():
+		reason = reasonClosed
+	case s.ingestor != nil && s.ingestor.Degraded():
+		reason = reasonJournalDegraded
+	}
+	if reason != "" {
+		s.writeJSON(w, http.StatusServiceUnavailable, readyResponse{Ready: false, Reason: reason, Generation: gen})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, readyResponse{Ready: true, Generation: gen})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -442,6 +654,13 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			LargestBatch:    s.stats.largestBatch.Load(),
 			MaxBatch:        s.batch.maxBatch,
 		},
+		Overload: OverloadStats{
+			Shed:        s.stats.shed.Load(),
+			Timeouts:    s.stats.timeouts.Load(),
+			Panics:      s.stats.panics.Load(),
+			InFlight:    len(s.sem),
+			MaxInFlight: cap(s.sem),
+		},
 		BuildStats: cli.StatsDoc(eng.BuildStats()),
 	}
 	if s.ingestor != nil {
@@ -458,7 +677,12 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			Compactions:       st.Compactions,
 			DeltaSegments:     st.DeltaSegments,
 			Seq:               st.Seq,
+			JournalRetries:    st.JournalRetries,
+			JournalFailures:   st.JournalFailures,
+			TornTails:         st.TornTails,
+			Degraded:          st.Degraded,
 		}
+		doc.Degraded = st.Degraded
 	}
 	s.writeJSON(w, http.StatusOK, doc)
 }
@@ -488,7 +712,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	s.stats.reloadRequests.Add(1)
 	st, err := s.Reload()
 	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, err.Error())
+		s.writeError(w, http.StatusInternalServerError, reasonReloadFailed, err.Error())
 		return
 	}
 	s.writeJSON(w, http.StatusOK, st)

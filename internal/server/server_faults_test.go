@@ -1,0 +1,111 @@
+//go:build faults
+
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"github.com/memes-pipeline/memes"
+	"github.com/memes-pipeline/memes/internal/faults"
+)
+
+// TestServerDegradedJournalReadOnly drives the full degraded-mode story at
+// the HTTP layer with an injected journal fault: writes are refused with a
+// clean retryable 503, readiness flips so a fleet drains the node, the read
+// path keeps serving — and the node recovers on its own once the journal
+// heals, because the retry budget of the next append re-probes it.
+func TestServerDegradedJournalReadOnly(t *testing.T) {
+	e, novel := newIngestEnv(t, memes.IngestConfig{
+		Threshold:       1 << 20,
+		DeltaDir:        t.TempDir(),
+		JournalAttempts: 3,
+		JournalBackoff:  time.Millisecond,
+	})
+	resident := residentMedoid(t, e.eng)
+
+	if code, raw := e.do(t, http.MethodGet, "/v1/readyz", nil, nil); code != http.StatusOK {
+		t.Fatalf("readyz before the fault: status %d: %s", code, raw)
+	}
+
+	// Three failures: exactly one append's whole retry budget. The fourth
+	// hit (the next batch's first attempt) finds a healthy journal again.
+	if err := faults.Arm("journal.append.write=error,times=3"); err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	defer faults.Reset()
+
+	resp, err := e.ts.Client().Post(e.ts.URL+"/v1/ingest", "application/json",
+		bytes.NewReader(ingestBody(t, novelPosts(novel, 2))))
+	if err != nil {
+		t.Fatalf("ingest during fault: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("ingest during fault: status %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("degraded 503 Retry-After = %q, want \"1\"", got)
+	}
+	var er errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatalf("decoding degraded 503: %v", err)
+	}
+	if er.Reason != reasonJournalDegraded {
+		t.Fatalf("degraded 503 reason = %q, want %q", er.Reason, reasonJournalDegraded)
+	}
+
+	// Degraded is read-only, not down: readiness drains the node, liveness
+	// and queries keep answering.
+	code, raw := e.do(t, http.MethodGet, "/v1/readyz", nil, nil)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while degraded: status %d, want 503", code)
+	}
+	if er := decodeError(t, raw); er.Reason != reasonJournalDegraded {
+		t.Fatalf("readyz while degraded reason = %q, want %q", er.Reason, reasonJournalDegraded)
+	}
+	if code, _ := e.do(t, http.MethodGet, "/v1/healthz", nil, nil); code != http.StatusOK {
+		t.Fatalf("healthz while degraded: status %d", code)
+	}
+	var m matchResponse
+	if code, _ := e.do(t, http.MethodPost, "/v1/match", matchBody(resident), &m); code != http.StatusOK || !m.Matched {
+		t.Fatalf("match while degraded: code %d matched %v — the read path must survive", code, m.Matched)
+	}
+
+	var stats StatsDoc
+	if code, _ := e.do(t, http.MethodGet, "/v1/statsz", nil, &stats); code != http.StatusOK {
+		t.Fatalf("statsz while degraded: status %d", code)
+	}
+	if !stats.Degraded || !stats.Ingest.Degraded {
+		t.Fatalf("statsz while degraded: degraded=%v ingest.degraded=%v, want both true", stats.Degraded, stats.Ingest.Degraded)
+	}
+	if stats.Ingest.JournalRetries != 2 || stats.Ingest.JournalFailures != 1 {
+		t.Fatalf("statsz journal retries/failures = %d/%d, want 2/1 (one append, full budget)",
+			stats.Ingest.JournalRetries, stats.Ingest.JournalFailures)
+	}
+	if stats.Ingest.Seq != 0 {
+		t.Fatalf("statsz seq = %d after a refused batch, want 0 (rollback)", stats.Ingest.Seq)
+	}
+
+	// The journal heals (the fault budget is spent): the next write batch
+	// succeeds and clears degraded mode without a restart.
+	var rec ingestResponse
+	if code, raw := e.do(t, http.MethodPost, "/v1/ingest", ingestBody(t, novelPosts(novel, 2)), &rec); code != http.StatusOK {
+		t.Fatalf("ingest after heal: status %d: %s", code, raw)
+	}
+	if rec.Accepted != 2 || rec.Seq != 2 {
+		t.Fatalf("receipt after heal = %+v, want 2 accepted at seq 2", rec)
+	}
+	if code, _ := e.do(t, http.MethodGet, "/v1/readyz", nil, nil); code != http.StatusOK {
+		t.Fatalf("readyz after heal: status %d, want 200", code)
+	}
+	if code, _ := e.do(t, http.MethodGet, "/v1/statsz", nil, &stats); code != http.StatusOK {
+		t.Fatalf("statsz after heal: status %d", code)
+	}
+	if stats.Degraded || stats.Ingest.Degraded {
+		t.Fatalf("statsz after heal: degraded=%v ingest.degraded=%v, want both false", stats.Degraded, stats.Ingest.Degraded)
+	}
+}

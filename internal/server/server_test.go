@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"image/png"
 	"io"
@@ -12,6 +13,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"github.com/memes-pipeline/memes"
@@ -25,9 +27,17 @@ type testEnv struct {
 	eng *memes.Engine // the original build, for reference answers
 	srv *Server
 	ts  *httptest.Server
+
+	// failLoads makes the loader error on its next calls — the lever the
+	// reload-failure tests pull.
+	failLoads atomic.Bool
 }
 
-func newTestEnv(t *testing.T) *testEnv {
+func newTestEnv(t *testing.T) *testEnv { return newTestEnvCfg(t, nil) }
+
+// newTestEnvCfg is newTestEnv with a hook to adjust the server Config (set
+// MaxInFlight, RequestTimeout, …) before New runs.
+func newTestEnvCfg(t *testing.T, mut func(*Config)) *testEnv {
 	t.Helper()
 	ds, err := memes.GenerateDataset(memes.SmallDatasetConfig())
 	if err != nil {
@@ -52,7 +62,11 @@ func newTestEnv(t *testing.T) *testEnv {
 	if err := f.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
+	env := &testEnv{ds: ds, eng: eng}
 	loader := func() (*memes.Engine, error) {
+		if env.failLoads.Load() {
+			return nil, errors.New("injected loader failure")
+		}
 		r, err := os.Open(snap)
 		if err != nil {
 			return nil, err
@@ -60,14 +74,19 @@ func newTestEnv(t *testing.T) *testEnv {
 		defer r.Close()
 		return memes.LoadEngine(r, site)
 	}
-	srv, err := New(Config{Loader: loader})
+	cfg := Config{Loader: loader}
+	if mut != nil {
+		mut(&cfg)
+	}
+	srv, err := New(cfg)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
 	t.Cleanup(srv.Close)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
-	return &testEnv{ds: ds, eng: eng, srv: srv, ts: ts}
+	env.srv, env.ts = srv, ts
+	return env
 }
 
 // do issues one request and decodes the JSON response into out (if non-nil),

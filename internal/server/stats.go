@@ -31,6 +31,10 @@ type counters struct {
 	largestBatch    atomic.Int64 // high-water mark of coalesced lookups
 
 	reloads atomic.Int64 // successful hot swaps (admin endpoint or SIGHUP)
+
+	shed     atomic.Int64 // requests refused by admission control (503)
+	timeouts atomic.Int64 // requests answered 504 after their deadline
+	panics   atomic.Int64 // handler/dispatcher panics contained by recovery
 }
 
 // observeBatch records one micro-batcher fan-out of n coalesced lookups.
@@ -54,12 +58,25 @@ type StatsDoc struct {
 	Clusters          int           `json:"clusters"`
 	AnnotatedClusters int           `json:"annotated_clusters"`
 	Reloads           int64         `json:"reloads"`
+	Degraded          bool          `json:"degraded"`
 	Requests          RequestStats  `json:"requests"`
 	Match             MatchStats    `json:"match"`
 	Associate         AssocStats    `json:"associate"`
 	Batcher           BatcherStats  `json:"batcher"`
+	Overload          OverloadStats `json:"overload"`
 	Ingest            IngestStats   `json:"ingest"`
 	BuildStats        cli.StatsJSON `json:"build_stats"`
+}
+
+// OverloadStats surfaces the server's self-protection counters: admission
+// sheds, deadline expiries, contained panics, and the live in-flight level
+// against its bound.
+type OverloadStats struct {
+	Shed        int64 `json:"shed"`
+	Timeouts    int64 `json:"timeouts"`
+	Panics      int64 `json:"panics"`
+	InFlight    int   `json:"in_flight"`
+	MaxInFlight int   `json:"max_in_flight"`
 }
 
 // RequestStats counts requests per endpoint plus total error responses.
@@ -108,4 +125,8 @@ type IngestStats struct {
 	Compactions       int64  `json:"compactions"`
 	DeltaSegments     int    `json:"delta_segments"`
 	Seq               uint64 `json:"seq"`
+	JournalRetries    int64  `json:"journal_retries"`
+	JournalFailures   int64  `json:"journal_failures"`
+	TornTails         int64  `json:"torn_tails"`
+	Degraded          bool   `json:"degraded"`
 }
