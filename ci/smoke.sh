@@ -6,7 +6,11 @@
 # -format json summary, a hot reload via the admin endpoint and via SIGHUP,
 # streaming ingest (POST /v1/ingest absorbs novel posts, re-clusters, and
 # serves them without a restart; the delta journal replays them across one),
-# and a graceful SIGTERM shutdown.
+# and a graceful SIGTERM shutdown. The observability layer is exercised on
+# the way: /v1/influence and /v1/report answer over the live engine, the
+# /v1/metrics Prometheus scrape must agree with /v1/statsz counter for
+# counter, and the -decision-log NDJSON stream captured during the run is
+# replayed through memereport after shutdown.
 #
 # ci/pickhash plants a synthetic KYM entry into the corpus before the build:
 # the generated corpus draws post hashes from entry galleries, so only a
@@ -36,7 +40,7 @@ step() { echo "== $*"; }
 
 step "building binaries"
 mkdir -p "$workdir/bin"
-go build -o "$workdir/bin/" ./cmd/memegen ./cmd/memepipeline ./cmd/memeserve ./ci/pickhash
+go build -o "$workdir/bin/" ./cmd/memegen ./cmd/memepipeline ./cmd/memeserve ./cmd/memereport ./ci/pickhash
 
 step "generating corpus"
 "$workdir/bin/memegen" -out "$workdir/corpus" -profile small >/dev/null
@@ -60,7 +64,8 @@ snap_version=$(od -An -tu4 -j8 -N4 "$workdir/engine.snap" | tr -d ' ')
 addr=127.0.0.1:18080
 step "booting memeserve on $addr"
 "$workdir/bin/memeserve" -addr "$addr" -load "$workdir/engine.snap" -in "$workdir/corpus" \
-  -ingest-threshold 5 -delta-dir "$workdir/deltas" -compact-after 1 &
+  -ingest-threshold 5 -delta-dir "$workdir/deltas" -compact-after 1 \
+  -decision-log "$workdir/decisions.ndjson" -decision-flush 100ms -decision-buffer 65536 &
 server_pid=$!
 
 step "waiting for /v1/healthz"
@@ -130,6 +135,55 @@ step "statsz sanity"
 curl -fsS "http://$addr/v1/statsz" >"$workdir/stats.json"
 jq -e '.requests.errors == 0 and .reloads == 2 and .requests.associate == 2' "$workdir/stats.json" >/dev/null
 
+step "live /v1/influence answers the Section 5 matrices"
+curl -fsS -X POST -d '{"group":"all"}' "http://$addr/v1/influence" >"$workdir/influence.json"
+jq -e '.group == "all" and (.communities | length) == 5 and (.raw | length) == 5
+       and (.total | length) == 5' "$workdir/influence.json" >/dev/null
+
+step "live /v1/report renders the full document"
+curl -fsS "http://$addr/v1/report" >"$workdir/report.json"
+jq -e '(.sections | length) > 0 and .generation == 3' "$workdir/report.json" >/dev/null
+
+step "/v1/metrics scrape agrees with /v1/statsz"
+# statsz first, then the scrape: the scrape bumps only its own counter, so
+# every counter asserted below is identical in both views by construction.
+curl -fsS "http://$addr/v1/statsz" >"$workdir/stats_pre_scrape.json"
+curl -fsS "http://$addr/v1/metrics" >"$workdir/metrics.txt"
+grep -q '^# TYPE memes_requests_total counter' "$workdir/metrics.txt" \
+  || { echo "FAIL: scrape is not Prometheus text format"; exit 1; }
+metric() { awk -v m="$1" '$1 == m {print $2}' "$workdir/metrics.txt"; }
+for pair in \
+  'memes_requests_total{endpoint="associate"} .requests.associate' \
+  'memes_requests_total{endpoint="match"} .requests.match' \
+  'memes_requests_total{endpoint="influence"} .requests.influence' \
+  'memes_requests_total{endpoint="report"} .requests.report' \
+  'memes_errors_total .requests.errors' \
+  'memes_match_total{outcome="matched"} .match.matched' \
+  'memes_match_total{outcome="missed"} .match.missed' \
+  'memes_associate_posts_total .associate.posts' \
+  'memes_associations_total .associate.associations' \
+  'memes_reloads_total .reloads' \
+  'memes_engine_generation .generation' \
+  'memes_clusters .clusters' \
+  'memes_decision_log_dropped_total .decision_log.dropped'; do
+  name=${pair% *}
+  field=${pair#* }
+  got=$(metric "$name")
+  want=$(jq -r "$field" "$workdir/stats_pre_scrape.json")
+  if [ "$got" != "$want" ]; then
+    echo "FAIL: $name = $got, statsz $field = $want"
+    exit 1
+  fi
+done
+# The latency histogram saw the traffic: the match endpoint's +Inf bucket
+# equals its request counter.
+hist=$(metric 'memes_request_duration_seconds_bucket{endpoint="match",le="+Inf"}')
+want=$(jq -r '.requests.match' "$workdir/stats_pre_scrape.json")
+[ "$hist" = "$want" ] || { echo "FAIL: match histogram count $hist, want $want"; exit 1; }
+jq -e '.decision_log.enabled == true and .decision_log.logged > 0 and .decision_log.dropped == 0' \
+  "$workdir/stats_pre_scrape.json" >/dev/null \
+  || { echo "FAIL: decision log lost entries: $(jq -c '.decision_log' "$workdir/stats_pre_scrape.json")"; exit 1; }
+
 step "streaming ingest: novel hash is unmatched before ingest"
 printf '{"hash":%s}' "$novel_hash" >"$workdir/novel_match_req.json"
 curl -fsS -X POST --data-binary @"$workdir/novel_match_req.json" \
@@ -190,6 +244,24 @@ if ! wait "$server_pid"; then
   exit 1
 fi
 server_pid=""
+
+step "decision log: the captured stream replays through memereport"
+# The drained server flushed every decision: the two full-corpus associate
+# runs must be in the file, one decision per post per request.
+post_count=$(wc -l <"$workdir/corpus/posts.jsonl")
+assoc_decisions=$(jq -s '[.[] | select(.endpoint == "associate")] | length' "$workdir/decisions.ndjson")
+if [ "$assoc_decisions" != "$((2 * post_count))" ]; then
+  echo "FAIL: decision log holds $assoc_decisions associate decisions, want $((2 * post_count))"
+  exit 1
+fi
+jq -s -e '[.[] | select(.endpoint == "match")] | length > 0' "$workdir/decisions.ndjson" >/dev/null
+"$workdir/bin/memereport" -in "$workdir/corpus" -replay "$workdir/decisions.ndjson" \
+  -format timeseries >"$workdir/replay.txt" 2>"$workdir/replay.log"
+grep -q 'Per-day meme activity' "$workdir/replay.txt" \
+  || { echo "FAIL: replayed memereport produced no timeseries table"; exit 1; }
+grep -q 'replay: ' "$workdir/replay.log" \
+  || { echo "FAIL: memereport -replay reported no replay summary"; exit 1; }
+
 "$workdir/bin/memeserve" -addr "$addr" -load "$workdir/engine.snap" -in "$workdir/corpus" \
   -ingest-threshold 5 -delta-dir "$workdir/deltas" -compact-after 1 &
 server_pid=$!
@@ -280,4 +352,4 @@ if ! wait "$server_pid"; then
 fi
 server_pid=""
 
-echo "SMOKE PASSED: healthz, readyz, match, associate ($expected_assoc associations), 2 hot reloads, ingest + v2 compaction + journal replay, degraded-journal read-only mode + self-heal, graceful shutdown"
+echo "SMOKE PASSED: healthz, readyz, match, associate ($expected_assoc associations), influence + report + metrics/statsz agreement, 2 hot reloads, ingest + v2 compaction + journal replay, decision-log capture + memereport replay, degraded-journal read-only mode + self-heal, graceful shutdown"

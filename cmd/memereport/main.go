@@ -4,13 +4,24 @@
 //
 // Usage:
 //
-//	memereport [-in ./corpus] [-profile paper|small] [-workers N] [-format text|json] [-out report.txt]
+//	memereport [-in ./corpus] [-profile paper|small] [-workers N]
+//	           [-format text|json|timeseries] [-group all|racist|...]
+//	           [-replay decisions.ndjson] [-out report.txt]
 //
 // When -in is given the corpus is loaded from disk; otherwise one is
 // generated in memory with the selected profile. With -format text (the
 // default) the sections render as one plain-text document; with -format
 // json a single JSON document carries every section plus the run stats —
 // the same machine-readable contract cmd/memepipeline's JSON mode follows.
+// -format timeseries emits the per-day per-community meme activity table
+// (posts, meme posts, meme share) for the -group meme group.
+//
+// -replay FILE swaps the corpus posts for the associate decisions of a
+// memeserve decision log (NDJSON, written by memeserve -decision-log): the
+// report then describes real served traffic instead of the stored corpus —
+// the paper's tables regenerated from production decisions. Match decisions
+// (hash-only, no timestamp) and posts outside the corpus observation window
+// are skipped and counted on stderr.
 package main
 
 import (
@@ -20,26 +31,33 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
+	"text/tabwriter"
 
 	"github.com/memes-pipeline/memes"
+	"github.com/memes-pipeline/memes/internal/analysis"
 	"github.com/memes-pipeline/memes/internal/cli"
+	"github.com/memes-pipeline/memes/internal/declog"
 )
 
 func main() {
 	in := flag.String("in", "", "corpus directory written by memegen (empty: generate in memory)")
 	profile := flag.String("profile", "paper", "dataset profile when generating: paper or small")
 	workers := flag.Int("workers", 0, "worker pool size for every pipeline stage (0 = GOMAXPROCS)")
-	format := flag.String("format", "text", "output format: text or json")
+	format := flag.String("format", "text", "output format: text, json, or timeseries")
+	group := flag.String("group", "all", "meme group for -format timeseries: all, racist, non-racist, politics, or non-politics")
+	replay := flag.String("replay", "", "decision-log NDJSON file (memeserve -decision-log) whose associate decisions replace the corpus posts")
 	out := flag.String("out", "", "write the report to this file instead of stdout")
 	flag.Parse()
-	if *format != "text" && *format != "json" {
-		log.Fatalf("unknown -format %q (want text or json)", *format)
+	if *format != "text" && *format != "json" && *format != "timeseries" {
+		log.Fatalf("unknown -format %q (want text, json, or timeseries)", *format)
+	}
+	memeGroup, err := analysis.ParseMemeGroup(*group)
+	if err != nil {
+		log.Fatalf("bad -group: %v", err)
 	}
 
-	var (
-		ds  *memes.Dataset
-		err error
-	)
+	var ds *memes.Dataset
 	if *in != "" {
 		ds, err = memes.LoadDataset(*in)
 	} else {
@@ -63,14 +81,21 @@ func main() {
 	res := eng.Result()
 	// Timing goes to stderr so -out / stdout stay a clean report.
 	fmt.Fprintln(os.Stderr, res.Stats)
-	rep, err := memes.NewReport(res)
-	if err != nil {
-		log.Fatalf("building report: %v", err)
+
+	if *replay != "" {
+		res, err = replayDecisions(context.Background(), eng, ds, *replay)
+		if err != nil {
+			log.Fatalf("replaying decision log: %v", err)
+		}
 	}
 
 	var rendered []byte
 	switch *format {
 	case "json":
+		rep, err := memes.NewReport(res)
+		if err != nil {
+			log.Fatalf("building report: %v", err)
+		}
 		doc, err := reportDoc(rep, res)
 		if err != nil {
 			log.Fatalf("rendering report: %v", err)
@@ -81,11 +106,17 @@ func main() {
 		}
 		rendered = append(rendered, '\n')
 	case "text":
+		rep, err := memes.NewReport(res)
+		if err != nil {
+			log.Fatalf("building report: %v", err)
+		}
 		text, err := rep.RenderAll()
 		if err != nil {
 			log.Fatalf("rendering report: %v", err)
 		}
 		rendered = []byte(text)
+	case "timeseries":
+		rendered = renderTimeSeries(res, memeGroup)
 	}
 
 	if *out == "" {
@@ -115,4 +146,53 @@ func reportDoc(rep *memes.Report, res *memes.Result) (reportJSON, error) {
 		return reportJSON{}, err
 	}
 	return reportJSON{Sections: sections, Stats: cli.StatsDoc(res.Stats)}, nil
+}
+
+// renderTimeSeries formats the per-day per-community activity table for
+// -format timeseries: one row per day × community, aligned columns, a
+// trailing percent with one decimal — the same palette as the report's
+// text tables.
+func renderTimeSeries(res *memes.Result, group memes.MemeGroup) []byte {
+	rows := analysis.TimeSeries(res, group)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Per-day meme activity by community (group: %s)\n\n", group)
+	w := tabwriter.NewWriter(&sb, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "DAY\tCOMMUNITY\tPOSTS\tMEME POSTS\tMEME %")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%.1f\n", r.Day, r.Community, r.Posts, r.MemePosts, r.Percent)
+	}
+	w.Flush()
+	return []byte(sb.String())
+}
+
+// replayDecisions rebuilds the pipeline result from the associate decisions
+// of a memeserve decision log: the corpus posts are swapped for the posts
+// the server actually saw, and Step 6 association re-runs against the same
+// resident clusters. Match decisions carry only a hash (no community or
+// timestamp), and posts outside the corpus observation window would violate
+// the Hawkes horizon — both are skipped and counted on stderr.
+func replayDecisions(ctx context.Context, eng *memes.Engine, ds *memes.Dataset, path string) (*memes.Result, error) {
+	decisions, err := declog.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var posts []memes.Post
+	var matchSkipped, windowSkipped int
+	for _, d := range decisions {
+		if d.Endpoint != "associate" {
+			matchSkipped++
+			continue
+		}
+		if d.Post.Timestamp.Before(ds.Start) || d.Post.Timestamp.After(ds.End) {
+			windowSkipped++
+			continue
+		}
+		posts = append(posts, d.Post)
+	}
+	if len(posts) == 0 {
+		return nil, fmt.Errorf("%s holds no replayable associate decisions", path)
+	}
+	fmt.Fprintf(os.Stderr, "replay: %d posts from %d decisions (%d non-associate skipped, %d outside observation window)\n",
+		len(posts), len(decisions), matchSkipped, windowSkipped)
+	return eng.ResultFor(ctx, posts)
 }

@@ -7,9 +7,11 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"github.com/memes-pipeline/memes"
 	"github.com/memes-pipeline/memes/internal/cli"
+	"github.com/memes-pipeline/memes/internal/declog"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden files")
@@ -99,5 +101,79 @@ func TestReportJSONGolden(t *testing.T) {
 	}
 	if len(back.Sections) != len(doc.Sections) {
 		t.Fatalf("round-trip lost sections: %d vs %d", len(back.Sections), len(doc.Sections))
+	}
+}
+
+// TestTimeSeriesGolden pins the -format timeseries table for the small
+// profile, for the full meme set and one restricted group.
+func TestTimeSeriesGolden(t *testing.T) {
+	_, res := reportFixture(t)
+	golden(t, "timeseries_small_all.txt", renderTimeSeries(res, memes.AllMemes))
+	golden(t, "timeseries_small_racist.txt", renderTimeSeries(res, memes.RacistMemes))
+}
+
+// TestReplayRoundTrip writes a decision log holding every associate
+// decision of the corpus (plus noise the replay must skip: match decisions
+// and an out-of-window post) and asserts the replayed result equals the
+// direct build — the decision stream carries enough to regenerate the
+// tables exactly.
+func TestReplayRoundTrip(t *testing.T) {
+	ds, err := memes.GenerateDataset(memes.SmallDatasetConfig())
+	if err != nil {
+		t.Fatalf("GenerateDataset: %v", err)
+	}
+	site, err := ds.Site(true)
+	if err != nil {
+		t.Fatalf("Site: %v", err)
+	}
+	eng, err := memes.NewEngine(context.Background(), ds, site)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	want := eng.Result()
+
+	// The log a memeserve run over this corpus would produce: one associate
+	// decision per post, plus entries the replay must skip.
+	path := filepath.Join(t.TempDir(), "decisions.ndjson")
+	sink, err := declog.NewFileSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decisions []declog.Decision
+	decisions = append(decisions, declog.Decision{Endpoint: "match",
+		Post: memes.Post{HasImage: true, Hash: 1, TruthMeme: -1, TruthRoot: -1}})
+	for _, p := range ds.Posts {
+		decisions = append(decisions, declog.Decision{Endpoint: "associate", Post: p})
+	}
+	outside := ds.Posts[0]
+	outside.Timestamp = ds.End.Add(48 * time.Hour)
+	decisions = append(decisions, declog.Decision{Endpoint: "associate", Post: outside})
+	if err := sink.Upload(context.Background(), decisions); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := replayDecisions(context.Background(), eng, ds, path)
+	if err != nil {
+		t.Fatalf("replayDecisions: %v", err)
+	}
+	if len(got.Dataset.Posts) != len(ds.Posts) {
+		t.Fatalf("replay kept %d posts, want %d (skipping the match and out-of-window entries)",
+			len(got.Dataset.Posts), len(ds.Posts))
+	}
+	if len(got.Associations) != len(want.Associations) {
+		t.Fatalf("replay produced %d associations, want %d", len(got.Associations), len(want.Associations))
+	}
+	for i := range want.Associations {
+		if got.Associations[i] != want.Associations[i] {
+			t.Fatalf("association %d: %+v, want %+v", i, got.Associations[i], want.Associations[i])
+		}
+	}
+	// The replayed result renders the same timeseries table — the artifact
+	// the replay exists to regenerate.
+	if string(renderTimeSeries(got, memes.AllMemes)) != string(renderTimeSeries(want, memes.AllMemes)) {
+		t.Error("replayed timeseries diverges from the direct build")
 	}
 }

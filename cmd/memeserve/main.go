@@ -13,6 +13,8 @@
 //	          [-ingest-threshold N] [-delta-dir ./deltas] [-compact-after N]
 //	          [-read-header-timeout 5s] [-read-timeout 60s] [-write-timeout 60s]
 //	          [-idle-timeout 120s] [-request-timeout 30s] [-max-inflight 1024]
+//	          [-decision-log decisions.ndjson] [-decision-flush 1s]
+//	          [-decision-buffer 4096] [-metrics=true]
 //
 // -in names the corpus directory (written by memegen) whose annotation site
 // the snapshot's entries are resolved against — the same site the build
@@ -38,9 +40,17 @@
 // writable) as distinct from /v1/healthz liveness; a degraded journal flips
 // the node read-only — ingests 503, queries keep serving.
 //
-// API: POST /v1/associate, /v1/match, /v1/match/image, /v1/ingest; GET
-// /v1/healthz, /v1/readyz, /v1/statsz, /v1/clusters; POST /v1/admin/reload —
-// see internal/server.
+// -decision-log FILE streams every served association and match decision to
+// an NDJSON file in batched, bounded-buffer fashion (OPA decision-log style:
+// the serve path never blocks on the sink; overflow is dropped and counted).
+// The file replays through memereport -replay to regenerate the paper's
+// tables from real served traffic. -decision-flush and -decision-buffer tune
+// the flush interval and buffer capacity; -metrics=false hides GET
+// /v1/metrics on replicas that must not be scraped.
+//
+// API: POST /v1/associate, /v1/match, /v1/match/image, /v1/ingest,
+// /v1/influence; GET /v1/healthz, /v1/readyz, /v1/statsz, /v1/metrics,
+// /v1/report, /v1/clusters; POST /v1/admin/reload — see internal/server.
 package main
 
 import (
@@ -55,6 +65,7 @@ import (
 	"time"
 
 	"github.com/memes-pipeline/memes"
+	"github.com/memes-pipeline/memes/internal/declog"
 	"github.com/memes-pipeline/memes/internal/faults"
 	"github.com/memes-pipeline/memes/internal/server"
 )
@@ -76,6 +87,10 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 120*time.Second, "http.Server.IdleTimeout: keep-alive connection reaper")
 	requestTimeout := flag.Duration("request-timeout", server.DefaultRequestTimeout, "per-request handler deadline (queries and ingest); negative disables")
 	maxInFlight := flag.Int("max-inflight", server.DefaultMaxInFlight, "max concurrently served requests before shedding with 503; negative disables")
+	decisionLog := flag.String("decision-log", "", "NDJSON file receiving the decision-log stream; empty disables capture")
+	decisionFlush := flag.Duration("decision-flush", time.Second, "decision-log flush interval")
+	decisionBuffer := flag.Int("decision-buffer", 0, "decision-log buffer capacity; overflow is dropped and counted (0 = default)")
+	metricsOn := flag.Bool("metrics", true, "expose GET /v1/metrics (Prometheus text format)")
 	faultSpec := flag.String("faults", "", "fault-injection spec (chaos builds only; see internal/faults)")
 	flag.Parse()
 	if *load == "" {
@@ -119,8 +134,11 @@ func main() {
 	// LoadEngineFile mmaps flat (v2) snapshots and serves straight from the
 	// mapped bytes — the medoid index is loaded, not rebuilt, so reloads are
 	// page-cache-bound; v1 artifacts go through the streaming decoder.
+	// WithDataset binds the serving corpus to the engine so the analysis
+	// endpoints (/v1/influence, /v1/report) can materialise the full
+	// pipeline result; without it they would answer 503/analysis_disabled.
 	loader := func() (*memes.Engine, error) {
-		opts := []memes.Option{memes.WithWorkers(*workers)}
+		opts := []memes.Option{memes.WithWorkers(*workers), memes.WithDataset(ds)}
 		if *indexStrategy != "" {
 			opts = append(opts, memes.WithIndex(memes.IndexStrategy(*indexStrategy)))
 		}
@@ -132,6 +150,30 @@ func main() {
 		MaxBatch:       *maxBatch,
 		MaxInFlight:    *maxInFlight,
 		RequestTimeout: *requestTimeout,
+		DisableMetrics: !*metricsOn,
+	}
+
+	// The decision log outlives the server: it is closed (final flush) only
+	// after the http.Server has drained, so every captured decision of every
+	// completed request reaches the sink.
+	var decSink *declog.FileSink
+	var decLogger *declog.Logger
+	if *decisionLog != "" {
+		var err error
+		decSink, err = declog.NewFileSink(*decisionLog)
+		if err != nil {
+			log.Fatalf("memeserve: opening decision log: %v", err)
+		}
+		decLogger, err = declog.New(declog.Config{
+			BufferSize:    *decisionBuffer,
+			FlushInterval: *decisionFlush,
+			Sink:          decSink,
+		})
+		if err != nil {
+			log.Fatalf("memeserve: decision log: %v", err)
+		}
+		cfg.DecisionLog = decLogger
+		log.Printf("memeserve: decision log streaming to %s (flush %v)", *decisionLog, *decisionFlush)
 	}
 	if *ingestThreshold > 0 {
 		cfg.Ingest = func(hot *memes.HotEngine) (*memes.Ingestor, error) {
@@ -206,9 +248,24 @@ func main() {
 		// Draining failed — force-close the remaining connections and exit
 		// non-zero: requests were dropped, and the exit code must say so.
 		httpSrv.Close()
+		closeDecisionLog(decLogger, decSink)
 		log.Fatalf("memeserve: drain did not complete, connections force-closed: %v", err)
 	}
+	closeDecisionLog(decLogger, decSink)
 	log.Print("memeserve: drained, bye")
+}
+
+// closeDecisionLog flushes and closes the decision stream after the server
+// has stopped serving; nil-safe for the disabled case.
+func closeDecisionLog(l *declog.Logger, s *declog.FileSink) {
+	if l != nil {
+		l.Close()
+	}
+	if s != nil {
+		if err := s.Close(); err != nil {
+			log.Printf("memeserve: closing decision log: %v", err)
+		}
+	}
 }
 
 // strategyList renders the registered index strategies for the -index flag

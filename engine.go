@@ -386,6 +386,27 @@ func (e *Engine) Result() *Result {
 	return res
 }
 
+// TryResult is Result for callers that can handle the failure mode: it
+// returns the materialisation error instead of panicking when the engine
+// was loaded without a bound dataset. The serving layer uses it to answer
+// analysis endpoints with 503 rather than crashing the process.
+func (e *Engine) TryResult() (*Result, error) { return e.result() }
+
+// ResultFor materialises a Result over an arbitrary post slice instead of
+// the build corpus: the posts are associated against the resident clusters
+// and wrapped with the bound dataset's corpus window and ground-truth
+// tables. This is the replay primitive behind `memereport -replay` —
+// posts recovered from a served decision log regenerate the paper's tables
+// from real traffic. Requires a bound dataset, like Result.
+func (e *Engine) ResultFor(ctx context.Context, posts []Post) (*Result, error) {
+	return e.build.ResultFor(ctx, posts)
+}
+
+// SnapshotVersion reports the MEMESNAP format version the engine was loaded
+// from (1 or 2), or 0 for an engine built in memory by NewEngine. Exposed
+// as the memes_snapshot_version gauge on /v1/metrics.
+func (e *Engine) SnapshotVersion() uint32 { return e.build.SnapshotVersion() }
+
 // result materialises and caches the legacy Result, keeping the error for
 // callers (Run) that can propagate it.
 func (e *Engine) result() (*Result, error) {

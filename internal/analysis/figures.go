@@ -302,6 +302,18 @@ func (g MemeGroup) String() string {
 	}
 }
 
+// ParseMemeGroup parses the wire form of a meme group — the exact strings
+// String renders ("all", "racist", "non-racist", "politics",
+// "non-politics"), so a group round-trips through JSON and flag values.
+func ParseMemeGroup(s string) (MemeGroup, error) {
+	for _, g := range []MemeGroup{AllMemes, RacistMemes, NonRacistMemes, PoliticalMemes, NonPoliticalMemes} {
+		if s == g.String() {
+			return g, nil
+		}
+	}
+	return 0, fmt.Errorf("analysis: unknown meme group %q (want all, racist, non-racist, politics, or non-politics)", s)
+}
+
 // inGroup reports whether a cluster belongs to the meme group.
 func inGroup(c *pipeline.ClusterInfo, g MemeGroup) bool {
 	switch g {

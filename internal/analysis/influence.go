@@ -1,13 +1,16 @@
 package analysis
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"github.com/memes-pipeline/memes/internal/annotate"
 	"github.com/memes-pipeline/memes/internal/dataset"
 	"github.com/memes-pipeline/memes/internal/hawkes"
+	"github.com/memes-pipeline/memes/internal/parallel"
 	"github.com/memes-pipeline/memes/internal/pipeline"
 	"github.com/memes-pipeline/memes/internal/stats"
 )
@@ -81,6 +84,16 @@ func eventsByMeme(res *pipeline.Result, group MemeGroup) map[string][]hawkes.Eve
 // aggregates the per-meme attributions into the group's influence matrices
 // and the per-event attribution samples used for KS testing.
 func fitGroup(res *pipeline.Result, group MemeGroup, cfg InfluenceConfig) (*InfluenceResult, *groupAttribution, error) {
+	return fitGroupCtx(context.Background(), res, group, cfg)
+}
+
+// fitGroupCtx is fitGroup with cooperative cancellation and parallel
+// per-meme fits. The fits run concurrently (each is a self-contained EM
+// loop), but the aggregation folds them serially in sorted meme-key order —
+// float accumulation is not associative, so a deterministic fold order is
+// what makes the matrices bitwise-identical across worker counts and
+// between the offline and served paths.
+func fitGroupCtx(ctx context.Context, res *pipeline.Result, group MemeGroup, cfg InfluenceConfig) (*InfluenceResult, *groupAttribution, error) {
 	if cfg.Omega <= 0 || cfg.MaxIter <= 0 {
 		return nil, nil, errors.New("analysis: invalid influence configuration")
 	}
@@ -88,15 +101,46 @@ func fitGroup(res *pipeline.Result, group MemeGroup, cfg InfluenceConfig) (*Infl
 	if len(byMeme) == 0 {
 		return nil, nil, fmt.Errorf("analysis: no events for meme group %v", group)
 	}
+	keys := make([]string, 0, len(byMeme))
+	for key := range byMeme {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
 	horizon := res.Dataset.End.Sub(res.Dataset.Start).Hours()/24 + 1
 	k := dataset.NumCommunities
 
-	agg := newGroupAttribution(k)
-	for _, events := range byMeme {
+	// Fit phase: one independent Hawkes fit + attribution per meme that has
+	// enough events; nil marks the small memes handled in the fold below.
+	atts, err := parallel.MapErrCtx(ctx, len(keys), res.Config.Workers, func(i int) (*hawkes.Attribution, error) {
+		events := byMeme[keys[i]]
 		if len(events) < cfg.MinEventsPerFit {
+			return nil, nil
+		}
+		fitCfg := hawkes.DefaultFitConfig(k, horizon)
+		fitCfg.Omega = cfg.Omega
+		fitCfg.MaxIter = cfg.MaxIter
+		fit, err := hawkes.FitCtx(ctx, events, fitCfg)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: fitting %v events: %w", group, err)
+		}
+		att, err := hawkes.Attribute(fit)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: attributing %v events: %w", group, err)
+		}
+		return att, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Fold phase: serial, in sorted key order.
+	agg := newGroupAttribution(k)
+	for i, key := range keys {
+		att := atts[i]
+		if att == nil {
 			// Too little data to infer cross-community excitation: each event
 			// is credited to its own community's background.
-			for _, e := range events {
+			for _, e := range byMeme[key] {
 				agg.add(e.Process, e.Process, 1)
 				agg.addSample(e.Process, e.Process, 1)
 				for src := 0; src < k; src++ {
@@ -108,17 +152,6 @@ func fitGroup(res *pipeline.Result, group MemeGroup, cfg InfluenceConfig) (*Infl
 				agg.srcTotals[e.Process]++
 			}
 			continue
-		}
-		fitCfg := hawkes.DefaultFitConfig(k, horizon)
-		fitCfg.Omega = cfg.Omega
-		fitCfg.MaxIter = cfg.MaxIter
-		fit, err := hawkes.Fit(events, fitCfg)
-		if err != nil {
-			return nil, nil, fmt.Errorf("analysis: fitting %v events: %w", group, err)
-		}
-		att, err := hawkes.Attribute(fit)
-		if err != nil {
-			return nil, nil, fmt.Errorf("analysis: attributing %v events: %w", group, err)
 		}
 		for j, e := range att.Events {
 			agg.destTotals[e.Process]++
@@ -246,6 +279,16 @@ func EstimateInfluence(res *pipeline.Result, group MemeGroup, cfg InfluenceConfi
 	return summary, err
 }
 
+// EstimateInfluenceCtx is EstimateInfluence with cooperative cancellation:
+// the per-meme fits run in parallel (bounded by the result's worker
+// configuration) and stop promptly when ctx is cancelled. For the same
+// result, group, and configuration it returns bitwise-identical matrices to
+// EstimateInfluence, for any worker count — the serving layer's contract.
+func EstimateInfluenceCtx(ctx context.Context, res *pipeline.Result, group MemeGroup, cfg InfluenceConfig) (*InfluenceResult, error) {
+	summary, _, err := fitGroupCtx(ctx, res, group, cfg)
+	return summary, err
+}
+
 // GroupComparison holds the Figures 13-16 content: influence matrices for a
 // meme group and its complement, plus per-cell KS significance of the
 // difference in attribution distributions.
@@ -262,11 +305,17 @@ type GroupComparison struct {
 // CompareGroups computes the racist-vs-non-racist (Figures 13 and 15) or
 // political-vs-non-political (Figures 14 and 16) comparison.
 func CompareGroups(res *pipeline.Result, group, complement MemeGroup, cfg InfluenceConfig) (*GroupComparison, error) {
-	g, gAtt, err := fitGroup(res, group, cfg)
+	return CompareGroupsCtx(context.Background(), res, group, complement, cfg)
+}
+
+// CompareGroupsCtx is CompareGroups with cooperative cancellation threaded
+// through both group fits.
+func CompareGroupsCtx(ctx context.Context, res *pipeline.Result, group, complement MemeGroup, cfg InfluenceConfig) (*GroupComparison, error) {
+	g, gAtt, err := fitGroupCtx(ctx, res, group, cfg)
 	if err != nil {
 		return nil, err
 	}
-	c, cAtt, err := fitGroup(res, complement, cfg)
+	c, cAtt, err := fitGroupCtx(ctx, res, complement, cfg)
 	if err != nil {
 		return nil, err
 	}

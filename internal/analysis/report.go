@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -47,37 +48,57 @@ type Section struct {
 // them individually, so callers (cmd/memereport's JSON mode, dashboards)
 // can consume the report structurally instead of as one text blob.
 func (r *Report) Sections() ([]Section, error) {
+	return r.SectionsCtx(context.Background())
+}
+
+// noCtx adapts a context-free section renderer to the ctx-threaded shape
+// SectionsCtx iterates over. Those sections are cheap (the expensive ones —
+// the Hawkes fits — take ctx directly); cancellation still lands between
+// sections.
+func noCtx(f func() (string, error)) func(context.Context) (string, error) {
+	return func(context.Context) (string, error) { return f() }
+}
+
+// SectionsCtx is Sections with cooperative cancellation: ctx is checked
+// before each section, and the Hawkes-fitting influence sections thread it
+// through to every EM iteration. The served /v1/report endpoint uses this
+// so an abandoned request stops burning CPU mid-fit. Output is identical to
+// Sections for an uncancelled ctx.
+func (r *Report) SectionsCtx(ctx context.Context) ([]Section, error) {
 	sections := []struct {
 		title  string
-		render func() (string, error)
+		render func(context.Context) (string, error)
 	}{
-		{"Table 1: dataset overview", r.RenderTable1},
-		{"Table 2: clustering statistics", r.RenderTable2},
-		{"Table 3: top KYM entries per fringe community (by clusters)", r.RenderTable3},
-		{"Table 4: top meme entries per community (by posts)", r.RenderTable4},
-		{"Table 5: top people entries per community (by posts)", r.RenderTable5},
-		{"Table 6: top subreddits (all / racist / politics)", r.RenderTable6},
-		{"Table 7: Hawkes events per community", r.RenderTable7},
-		{"Table 8: clustering threshold sweep", r.RenderTable8},
-		{"Table 9: screenshot classifier training corpus", r.RenderTable9},
-		{"Figure 3: perceptual similarity decay", r.RenderFigure3},
-		{"Figure 4: KYM dataset statistics", r.RenderFigure4},
-		{"Figure 5: annotation CDFs", r.RenderFigure5},
-		{"Figure 6: frog meme dendrogram", r.RenderFigure6},
-		{"Figure 7: cluster graph", r.RenderFigure7},
-		{"Figure 8: temporal meme activity", r.RenderFigure8},
-		{"Figure 9: post score CDFs", r.RenderFigure9},
-		{"Figure 10: attribution toy example", r.RenderFigure10},
-		{"Figures 11-12: influence matrices (all memes)", r.RenderInfluenceAll},
-		{"Figures 13,15: influence, racist vs non-racist", r.RenderInfluenceRacist},
-		{"Figures 14,16: influence, political vs non-political", r.RenderInfluencePolitical},
-		{"Figure 17: per-cluster false positives vs threshold", r.RenderFigure17},
-		{"Figure 19: screenshot classifier ROC", r.RenderFigure19},
-		{"Appendix B: annotation quality", r.RenderAppendixB},
+		{"Table 1: dataset overview", noCtx(r.RenderTable1)},
+		{"Table 2: clustering statistics", noCtx(r.RenderTable2)},
+		{"Table 3: top KYM entries per fringe community (by clusters)", noCtx(r.RenderTable3)},
+		{"Table 4: top meme entries per community (by posts)", noCtx(r.RenderTable4)},
+		{"Table 5: top people entries per community (by posts)", noCtx(r.RenderTable5)},
+		{"Table 6: top subreddits (all / racist / politics)", noCtx(r.RenderTable6)},
+		{"Table 7: Hawkes events per community", noCtx(r.RenderTable7)},
+		{"Table 8: clustering threshold sweep", noCtx(r.RenderTable8)},
+		{"Table 9: screenshot classifier training corpus", noCtx(r.RenderTable9)},
+		{"Figure 3: perceptual similarity decay", noCtx(r.RenderFigure3)},
+		{"Figure 4: KYM dataset statistics", noCtx(r.RenderFigure4)},
+		{"Figure 5: annotation CDFs", noCtx(r.RenderFigure5)},
+		{"Figure 6: frog meme dendrogram", noCtx(r.RenderFigure6)},
+		{"Figure 7: cluster graph", noCtx(r.RenderFigure7)},
+		{"Figure 8: temporal meme activity", noCtx(r.RenderFigure8)},
+		{"Figure 9: post score CDFs", noCtx(r.RenderFigure9)},
+		{"Figure 10: attribution toy example", noCtx(r.RenderFigure10)},
+		{"Figures 11-12: influence matrices (all memes)", r.renderInfluenceAllCtx},
+		{"Figures 13,15: influence, racist vs non-racist", r.renderInfluenceRacistCtx},
+		{"Figures 14,16: influence, political vs non-political", r.renderInfluencePoliticalCtx},
+		{"Figure 17: per-cluster false positives vs threshold", noCtx(r.RenderFigure17)},
+		{"Figure 19: screenshot classifier ROC", noCtx(r.RenderFigure19)},
+		{"Appendix B: annotation quality", noCtx(r.RenderAppendixB)},
 	}
 	out := make([]Section, 0, len(sections))
 	for _, s := range sections {
-		text, err := s.render()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		text, err := s.render(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("rendering %q: %w", s.title, err)
 		}
@@ -89,7 +110,12 @@ func (r *Report) Sections() ([]Section, error) {
 // RenderAll produces the full paper report: every table and figure in order,
 // as one text document.
 func (r *Report) RenderAll() (string, error) {
-	sections, err := r.Sections()
+	return r.RenderAllCtx(context.Background())
+}
+
+// RenderAllCtx is RenderAll with cooperative cancellation (see SectionsCtx).
+func (r *Report) RenderAllCtx(ctx context.Context) (string, error) {
+	sections, err := r.SectionsCtx(ctx)
 	if err != nil {
 		return "", err
 	}
@@ -422,7 +448,11 @@ func (r *Report) RenderFigure10() (string, error) {
 
 // RenderInfluenceAll renders Figures 11 and 12.
 func (r *Report) RenderInfluenceAll() (string, error) {
-	inf, err := EstimateInfluence(r.res, AllMemes, r.infCfg)
+	return r.renderInfluenceAllCtx(context.Background())
+}
+
+func (r *Report) renderInfluenceAllCtx(ctx context.Context) (string, error) {
+	inf, err := EstimateInfluenceCtx(ctx, r.res, AllMemes, r.infCfg)
 	if err != nil {
 		return "", err
 	}
@@ -436,16 +466,24 @@ func (r *Report) RenderInfluenceAll() (string, error) {
 
 // RenderInfluenceRacist renders Figures 13 and 15.
 func (r *Report) RenderInfluenceRacist() (string, error) {
-	return r.renderComparison(RacistMemes, NonRacistMemes)
+	return r.renderInfluenceRacistCtx(context.Background())
+}
+
+func (r *Report) renderInfluenceRacistCtx(ctx context.Context) (string, error) {
+	return r.renderComparison(ctx, RacistMemes, NonRacistMemes)
 }
 
 // RenderInfluencePolitical renders Figures 14 and 16.
 func (r *Report) RenderInfluencePolitical() (string, error) {
-	return r.renderComparison(PoliticalMemes, NonPoliticalMemes)
+	return r.renderInfluencePoliticalCtx(context.Background())
 }
 
-func (r *Report) renderComparison(group, complement MemeGroup) (string, error) {
-	cmp, err := CompareGroups(r.res, group, complement, r.infCfg)
+func (r *Report) renderInfluencePoliticalCtx(ctx context.Context) (string, error) {
+	return r.renderComparison(ctx, PoliticalMemes, NonPoliticalMemes)
+}
+
+func (r *Report) renderComparison(ctx context.Context, group, complement MemeGroup) (string, error) {
+	cmp, err := CompareGroupsCtx(ctx, r.res, group, complement, r.infCfg)
 	if err != nil {
 		return "", err
 	}

@@ -1,0 +1,375 @@
+// Package declog streams served association decisions to an external sink,
+// in the style of OPA's decision-log plugin (plugins/logs): every decision
+// the serving layer makes is appended to a bounded in-memory buffer,
+// batched, and uploaded on a timer or when a batch fills — never on the
+// request path. Backpressure is drop-counting, not blocking: when the
+// buffer is full the newest decision is dropped and counted, so a slow or
+// dead sink degrades observability, never serving.
+//
+// The log is the bridge between serving and the paper's offline analysis:
+// a decision carries the full post that was associated, so an NDJSON log
+// replayed through `memereport -replay` regenerates the paper's tables
+// from real served traffic.
+package declog
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/memes-pipeline/memes/internal/dataset"
+)
+
+// Decision is one served association decision. Seq is a dense per-logger
+// sequence number assigned in arrival order under the buffer lock, so a
+// replay can detect gaps and duplicates; the hammer test asserts both never
+// happen for accepted decisions.
+type Decision struct {
+	// Seq is the decision's 1-based sequence number within the logger.
+	Seq uint64 `json:"seq"`
+	// TimeUnixNS is the wall-clock capture time in Unix nanoseconds.
+	TimeUnixNS int64 `json:"time_unix_ns"`
+	// Endpoint names the serving endpoint that made the decision
+	// ("associate" or "match").
+	Endpoint string `json:"endpoint"`
+	// Generation is the hot-engine generation that served the decision.
+	Generation uint64 `json:"generation"`
+	// Post is the post the decision was made about. Match lookups carry a
+	// synthetic post holding only the queried hash.
+	Post dataset.Post `json:"post"`
+	// Matched reports whether the post matched an annotated cluster.
+	Matched bool `json:"matched"`
+	// ClusterID is the winning cluster; meaningful only when Matched.
+	ClusterID int `json:"cluster_id"`
+	// Distance is the Hamming distance to the winning medoid; meaningful
+	// only when Matched.
+	Distance int `json:"distance"`
+	// Entry is the KYM entry name of the winning cluster, when Matched.
+	Entry string `json:"entry,omitempty"`
+}
+
+// Sink receives flushed decision batches. Uploads run on the logger's
+// flusher goroutine, never on the serve path; a failed upload is counted
+// and the batch discarded (the log is an observability stream, not a
+// durability guarantee).
+type Sink interface {
+	Upload(ctx context.Context, batch []Decision) error
+}
+
+// Stats is a point-in-time snapshot of the logger's accounting.
+type Stats struct {
+	// Logged counts decisions accepted into the buffer.
+	Logged uint64 `json:"logged"`
+	// Dropped counts decisions rejected because the buffer was full.
+	Dropped uint64 `json:"dropped"`
+	// Batches counts sink uploads attempted.
+	Batches uint64 `json:"batches"`
+	// Flushed counts decisions successfully uploaded.
+	Flushed uint64 `json:"flushed"`
+	// FlushFailures counts failed uploads (their decisions are discarded).
+	FlushFailures uint64 `json:"flush_failures"`
+	// Buffered is the number of decisions currently awaiting flush.
+	Buffered int `json:"buffered"`
+}
+
+// Config sizes a Logger. Zero values take the defaults noted per field.
+type Config struct {
+	// BufferSize bounds the in-memory decision buffer; beyond it new
+	// decisions are dropped and counted. Default 4096.
+	BufferSize int
+	// BatchSize caps the decisions per sink upload and triggers an early
+	// flush when the buffer reaches it. Default 512.
+	BatchSize int
+	// FlushInterval is the timer-driven flush period. Default 1s.
+	FlushInterval time.Duration
+	// Sink receives the batches; required.
+	Sink Sink
+}
+
+// Logger is the bounded, batching decision buffer. Log is safe for
+// concurrent use and never blocks on the sink.
+type Logger struct {
+	cfg Config
+
+	mu     sync.Mutex
+	buf    []Decision
+	seq    uint64
+	closed bool
+
+	logged        atomic.Uint64
+	dropped       atomic.Uint64
+	batches       atomic.Uint64
+	flushed       atomic.Uint64
+	flushFailures atomic.Uint64
+
+	kick chan struct{} // non-blocking wake-up for the flusher
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New starts a Logger flushing to cfg.Sink. Close releases it.
+func New(cfg Config) (*Logger, error) {
+	if cfg.Sink == nil {
+		return nil, errors.New("declog: config requires a sink")
+	}
+	if cfg.BufferSize <= 0 {
+		cfg.BufferSize = 4096
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 512
+	}
+	if cfg.BatchSize > cfg.BufferSize {
+		cfg.BatchSize = cfg.BufferSize
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = time.Second
+	}
+	l := &Logger{
+		cfg:  cfg,
+		buf:  make([]Decision, 0, cfg.BufferSize),
+		kick: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	//memes:goroutine flusher owned by Close: stop/done handshake joins it after a final drain
+	go l.run()
+	return l, nil
+}
+
+// Log offers one decision to the buffer. The decision's Seq and TimeUnixNS
+// are assigned here, under the buffer lock, so sequence numbers are dense
+// and ordered with buffer positions. Returns false when the decision was
+// dropped (buffer full or logger closed). Never blocks on the sink.
+func (l *Logger) Log(d Decision) bool {
+	l.mu.Lock()
+	if l.closed || len(l.buf) >= l.cfg.BufferSize {
+		l.mu.Unlock()
+		l.dropped.Add(1)
+		return false
+	}
+	l.seq++
+	d.Seq = l.seq
+	d.TimeUnixNS = time.Now().UnixNano()
+	l.buf = append(l.buf, d)
+	full := len(l.buf) >= l.cfg.BatchSize
+	l.mu.Unlock()
+	l.logged.Add(1)
+	if full {
+		select {
+		case l.kick <- struct{}{}:
+		default:
+		}
+	}
+	return true
+}
+
+// Stats snapshots the logger's accounting.
+func (l *Logger) Stats() Stats {
+	l.mu.Lock()
+	buffered := len(l.buf)
+	l.mu.Unlock()
+	return Stats{
+		Logged:        l.logged.Load(),
+		Dropped:       l.dropped.Load(),
+		Batches:       l.batches.Load(),
+		Flushed:       l.flushed.Load(),
+		FlushFailures: l.flushFailures.Load(),
+		Buffered:      buffered,
+	}
+}
+
+// Flush synchronously drains the current buffer to the sink. Serving never
+// calls this; it exists for tests and for Close's final drain.
+func (l *Logger) Flush(ctx context.Context) {
+	l.flush(ctx)
+}
+
+// Close stops the flusher, drains what remains in the buffer, and marks
+// the logger closed (later Log calls drop). Idempotent.
+func (l *Logger) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		<-l.done
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	close(l.stop)
+	<-l.done
+	return nil
+}
+
+// run is the flusher loop: a timer tick or a batch-full kick drains the
+// buffer; stop triggers a final drain before exiting.
+func (l *Logger) run() {
+	defer close(l.done)
+	ticker := time.NewTicker(l.cfg.FlushInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			l.flush(context.Background())
+		case <-l.kick:
+			l.flush(context.Background())
+		case <-l.stop:
+			l.flush(context.Background())
+			return
+		}
+	}
+}
+
+// flush swaps the buffer out under the lock and uploads it in BatchSize
+// chunks. Decisions of a failed upload are discarded and counted.
+func (l *Logger) flush(ctx context.Context) {
+	l.mu.Lock()
+	if len(l.buf) == 0 {
+		l.mu.Unlock()
+		return
+	}
+	pending := l.buf
+	l.buf = make([]Decision, 0, l.cfg.BufferSize)
+	l.mu.Unlock()
+
+	for len(pending) > 0 {
+		n := len(pending)
+		if n > l.cfg.BatchSize {
+			n = l.cfg.BatchSize
+		}
+		batch := pending[:n]
+		pending = pending[n:]
+		l.batches.Add(1)
+		if err := l.cfg.Sink.Upload(ctx, batch); err != nil {
+			l.flushFailures.Add(1)
+			continue
+		}
+		l.flushed.Add(uint64(n))
+	}
+}
+
+// FileSink appends decisions as NDJSON lines (one Decision JSON document
+// per line) to a file — the format `memereport -replay` reads back.
+type FileSink struct {
+	mu sync.Mutex
+	f  *os.File
+	w  *bufio.Writer
+}
+
+// NewFileSink opens (creating or appending) the NDJSON file at path.
+func NewFileSink(path string) (*FileSink, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("declog: opening sink file: %w", err)
+	}
+	return &FileSink{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// Upload appends the batch and syncs buffered bytes to the file.
+func (s *FileSink) Upload(ctx context.Context, batch []Decision) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	enc := json.NewEncoder(s.w)
+	for i := range batch {
+		if err := enc.Encode(&batch[i]); err != nil {
+			return fmt.Errorf("declog: encoding decision: %w", err)
+		}
+	}
+	return s.w.Flush()
+}
+
+// Close flushes and closes the underlying file.
+func (s *FileSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.w.Flush(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}
+
+// HTTPSink POSTs each batch as an NDJSON request body to a collector URL,
+// mirroring OPA's upload shape (minus compression).
+type HTTPSink struct {
+	// URL is the collector endpoint.
+	URL string
+	// Client is the HTTP client to use; http.DefaultClient when nil.
+	Client *http.Client
+}
+
+// Upload POSTs the batch; any non-2xx status is an error.
+func (s *HTTPSink) Upload(ctx context.Context, batch []Decision) error {
+	var body bytes.Buffer
+	enc := json.NewEncoder(&body)
+	for i := range batch {
+		if err := enc.Encode(&batch[i]); err != nil {
+			return fmt.Errorf("declog: encoding decision: %w", err)
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.URL, &body)
+	if err != nil {
+		return fmt.Errorf("declog: building upload request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	client := s.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("declog: uploading batch: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return fmt.Errorf("declog: collector returned %s", resp.Status)
+	}
+	return nil
+}
+
+// Read parses an NDJSON decision stream (the FileSink format). Blank lines
+// are skipped; a malformed line fails with its line number.
+func Read(r io.Reader) ([]Decision, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []Decision
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var d Decision
+		if err := json.Unmarshal(raw, &d); err != nil {
+			return nil, fmt.Errorf("declog: line %d: %w", line, err)
+		}
+		out = append(out, d)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("declog: reading stream: %w", err)
+	}
+	return out, nil
+}
+
+// ReadFile is Read over the file at path.
+func ReadFile(path string) ([]Decision, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,364 @@
+package declog
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/memes-pipeline/memes/internal/dataset"
+)
+
+// memSink collects uploads in memory; fail makes every upload error.
+type memSink struct {
+	mu      sync.Mutex
+	batches [][]Decision
+	fail    bool
+}
+
+func (s *memSink) Upload(ctx context.Context, batch []Decision) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fail {
+		return errors.New("sink down")
+	}
+	cp := make([]Decision, len(batch))
+	copy(cp, batch)
+	s.batches = append(s.batches, cp)
+	return nil
+}
+
+func (s *memSink) all() []Decision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Decision
+	for _, b := range s.batches {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// TestLoggerSeqDense verifies Seq assignment: dense, 1-based, ordered with
+// arrival, and preserved through flush.
+func TestLoggerSeqDense(t *testing.T) {
+	sink := &memSink{}
+	l, err := New(Config{Sink: sink, FlushInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if !l.Log(Decision{Endpoint: "associate"}) {
+			t.Fatalf("Log %d rejected", i)
+		}
+	}
+	l.Flush(context.Background())
+	got := sink.all()
+	if len(got) != 10 {
+		t.Fatalf("flushed %d decisions, want 10", len(got))
+	}
+	for i, d := range got {
+		if d.Seq != uint64(i+1) {
+			t.Errorf("decision %d has seq %d, want %d", i, d.Seq, i+1)
+		}
+		if d.TimeUnixNS == 0 {
+			t.Errorf("decision %d has no capture time", i)
+		}
+	}
+	l.Close()
+}
+
+// TestFlushBatchSizeChunks verifies a flush splits the buffer into
+// BatchSize-bounded uploads. The Logger is built by hand (no flusher
+// goroutine), so the chunking is observed without the batch-full kick
+// racing the explicit Flush.
+func TestFlushBatchSizeChunks(t *testing.T) {
+	sink := &memSink{}
+	l := &Logger{cfg: Config{BufferSize: 100, BatchSize: 7, Sink: sink}}
+	for i := 0; i < 20; i++ {
+		l.buf = append(l.buf, Decision{Seq: uint64(i + 1)})
+	}
+	l.flush(context.Background())
+	sink.mu.Lock()
+	sizes := make([]int, 0, len(sink.batches))
+	for _, b := range sink.batches {
+		sizes = append(sizes, len(b))
+	}
+	sink.mu.Unlock()
+	if len(sizes) != 3 || sizes[0] != 7 || sizes[1] != 7 || sizes[2] != 6 {
+		t.Fatalf("batch sizes %v, want [7 7 6]", sizes)
+	}
+	if st := l.Stats(); st.Batches != 3 || st.Flushed != 20 || st.Buffered != 0 {
+		t.Errorf("accounting: %+v", st)
+	}
+}
+
+// TestLoggerBatchFullKick verifies reaching BatchSize wakes the flusher
+// without waiting for the timer.
+func TestLoggerBatchFullKick(t *testing.T) {
+	sink := &memSink{}
+	l, err := New(Config{Sink: sink, BufferSize: 100, BatchSize: 5, FlushInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 5; i++ {
+		l.Log(Decision{})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if l.Stats().Flushed == 5 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("batch-full kick did not flush: %+v", l.Stats())
+}
+
+// TestLoggerDropsWhenFull verifies drop-counting backpressure: a full
+// buffer rejects new decisions without blocking, and accepted ones survive.
+func TestLoggerDropsWhenFull(t *testing.T) {
+	sink := &memSink{}
+	l, err := New(Config{Sink: sink, BufferSize: 4, BatchSize: 4, FlushInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stop the flusher racing the fill: batch-full kicks are asynchronous,
+	// so make the sink fail first — failed batches are discarded, but here
+	// we only care about accounting on the Log side. Simpler: fill faster
+	// than the flusher can drain is racy, so assert on totals instead.
+	accepted, droppedNow := 0, 0
+	for i := 0; i < 100; i++ {
+		if l.Log(Decision{}) {
+			accepted++
+		} else {
+			droppedNow++
+		}
+	}
+	st := l.Stats()
+	if int(st.Logged) != accepted || int(st.Dropped) != droppedNow {
+		t.Errorf("stats disagree with Log returns: %+v vs accepted=%d dropped=%d", st, accepted, droppedNow)
+	}
+	if droppedNow == 0 {
+		t.Log("flusher drained fast enough that nothing dropped; acceptance accounting still verified")
+	}
+	l.Close()
+	if got := len(sink.all()); got != accepted {
+		t.Errorf("sink received %d decisions, want the %d accepted", got, accepted)
+	}
+}
+
+// TestLoggerFailedUploadDiscarded verifies a failing sink counts failures
+// and discards the batch instead of retrying or blocking.
+func TestLoggerFailedUploadDiscarded(t *testing.T) {
+	sink := &memSink{fail: true}
+	l, err := New(Config{Sink: sink, FlushInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 3; i++ {
+		l.Log(Decision{})
+	}
+	l.Flush(context.Background())
+	st := l.Stats()
+	if st.FlushFailures != 1 || st.Flushed != 0 || st.Buffered != 0 {
+		t.Errorf("failed upload accounting: %+v", st)
+	}
+	// The sink recovers; only new decisions reach it.
+	sink.mu.Lock()
+	sink.fail = false
+	sink.mu.Unlock()
+	l.Log(Decision{Endpoint: "associate"})
+	l.Flush(context.Background())
+	got := sink.all()
+	if len(got) != 1 || got[0].Endpoint != "associate" {
+		t.Errorf("recovered sink got %+v, want only the post-recovery decision", got)
+	}
+}
+
+// TestLoggerCloseDrainsAndRejects verifies Close's final drain and that a
+// closed logger drops instead of panicking; Close is idempotent.
+func TestLoggerCloseDrainsAndRejects(t *testing.T) {
+	sink := &memSink{}
+	l, err := New(Config{Sink: sink, FlushInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Log(Decision{})
+	l.Log(Decision{})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sink.all()); got != 2 {
+		t.Errorf("final drain flushed %d, want 2", got)
+	}
+	if l.Log(Decision{}) {
+		t.Error("closed logger accepted a decision")
+	}
+	if err := l.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+// TestFileSinkRoundTrip writes decisions through a FileSink and reads the
+// NDJSON back with ReadFile: every field survives the trip.
+func TestFileSinkRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "decisions.ndjson")
+	sink, err := NewFileSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Decision{
+		{
+			Seq: 1, TimeUnixNS: 12345, Endpoint: "associate", Generation: 3,
+			Post: dataset.Post{
+				ID: 7, Community: dataset.TheDonald, Subreddit: "The_Donald",
+				Timestamp: time.Date(2017, 7, 1, 12, 0, 0, 0, time.UTC),
+				HasImage:  true, Hash: 0xdeadbeef, Score: 42, TruthMeme: 1, TruthRoot: 2,
+			},
+			Matched: true, ClusterID: 9, Distance: 4, Entry: "smug-frog",
+		},
+		{Seq: 2, TimeUnixNS: 12346, Endpoint: "match",
+			Post:    dataset.Post{HasImage: true, Hash: 1, TruthMeme: -1, TruthRoot: -1},
+			Matched: false, ClusterID: -1, Distance: -1},
+	}
+	if err := sink.Upload(context.Background(), want); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d decisions, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Post.Timestamp.Equal(want[i].Post.Timestamp) {
+			t.Errorf("decision %d timestamp: got %v, want %v", i, got[i].Post.Timestamp, want[i].Post.Timestamp)
+		}
+		got[i].Post.Timestamp = want[i].Post.Timestamp
+		if got[i] != want[i] {
+			t.Errorf("decision %d round-trip mismatch:\ngot  %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestFileSinkAppends verifies reopening a sink appends instead of
+// truncating — a restarted server must not erase the earlier stream.
+func TestFileSinkAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "decisions.ndjson")
+	for run := 1; run <= 2; run++ {
+		sink, err := NewFileSink(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sink.Upload(context.Background(), []Decision{{Seq: uint64(run)}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := sink.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Errorf("appended stream: %+v", got)
+	}
+}
+
+// TestReadErrors pins the malformed-line error shape (line-numbered) and
+// blank-line tolerance.
+func TestReadErrors(t *testing.T) {
+	decisions, err := Read(strings.NewReader("{\"seq\":1}\n\n{\"seq\":2}\n"))
+	if err != nil || len(decisions) != 2 {
+		t.Fatalf("blank-line stream: %v, %d decisions", err, len(decisions))
+	}
+	_, err = Read(strings.NewReader("{\"seq\":1}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("malformed line error = %v, want line-numbered failure", err)
+	}
+}
+
+// TestHTTPSink verifies the POST upload shape (NDJSON body, content type)
+// and that a non-2xx status is an error.
+func TestHTTPSink(t *testing.T) {
+	var gotBody string
+	var gotType string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b := make([]byte, r.ContentLength)
+		r.Body.Read(b)
+		gotBody, gotType = string(b), r.Header.Get("Content-Type")
+	}))
+	defer srv.Close()
+	s := &HTTPSink{URL: srv.URL}
+	if err := s.Upload(context.Background(), []Decision{{Seq: 1}, {Seq: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if gotType != "application/x-ndjson" {
+		t.Errorf("content type %q", gotType)
+	}
+	if lines := strings.Count(gotBody, "\n"); lines != 2 {
+		t.Errorf("body has %d lines, want 2:\n%s", lines, gotBody)
+	}
+
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no", http.StatusServiceUnavailable)
+	}))
+	defer down.Close()
+	s = &HTTPSink{URL: down.URL}
+	if err := s.Upload(context.Background(), []Decision{{}}); err == nil {
+		t.Error("non-2xx upload did not error")
+	}
+}
+
+// TestLoggerConcurrentLog hammers Log from many goroutines against a live
+// flusher and asserts exactly-once delivery of every accepted decision:
+// unique dense seqs, no loss, no duplication.
+func TestLoggerConcurrentLog(t *testing.T) {
+	sink := &memSink{}
+	l, err := New(Config{Sink: sink, BufferSize: 1 << 14, BatchSize: 64, FlushInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, each = 8, 500
+	var accepted sync.Map
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				l.Log(Decision{Endpoint: fmt.Sprintf("w%d", w)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	l.Close()
+	st := l.Stats()
+	if st.Logged != workers*each || st.Dropped != 0 {
+		t.Fatalf("accounting after hammer: %+v", st)
+	}
+	got := sink.all()
+	if len(got) != workers*each {
+		t.Fatalf("sink received %d decisions, want %d", len(got), workers*each)
+	}
+	for _, d := range got {
+		if _, dup := accepted.LoadOrStore(d.Seq, true); dup {
+			t.Fatalf("duplicate seq %d", d.Seq)
+		}
+		if d.Seq == 0 || d.Seq > workers*each {
+			t.Fatalf("seq %d outside dense range [1,%d]", d.Seq, workers*each)
+		}
+	}
+}

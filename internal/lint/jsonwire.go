@@ -21,9 +21,16 @@ import (
 // field types declared in the same package. Structs never serialized
 // (configuration, internal state) are deliberately out of scope — tags on
 // them would promise a wire format that does not exist.
+//
+// The analyzer also pins the error envelope: HTTP handlers must put every
+// body on the wire through the shared writeJSON/writeError helpers, so it
+// flags net/http.Error calls and encoding/json Encoders attached straight
+// to an http.ResponseWriter anywhere outside writeJSON itself — both are
+// how a handler would silently ship a bare-string error body instead of
+// {"error": ..., "reason": ...}.
 var JSONWire = &Analyzer{
 	Name: "jsonwire",
-	Doc:  "requires explicit snake_case json tags on structs serialized by server and cli",
+	Doc:  "requires explicit snake_case json tags on structs serialized by server, cli, and declog, and the shared writeJSON/writeError envelope in handlers",
 	Run:  runJSONWire,
 }
 
@@ -120,6 +127,60 @@ func runJSONWire(pass *Pass) error {
 		}
 		for _, field := range st.Fields.List {
 			checkWireField(pass, obj.Name(), field)
+		}
+	}
+
+	checkHandRolledWrites(pass)
+	return nil
+}
+
+// checkHandRolledWrites flags response writes that bypass the shared
+// writeJSON/writeError envelope: net/http.Error (bare text/plain body) and
+// json.NewEncoder over an http.ResponseWriter outside writeJSON (an
+// envelope-free JSON body). writeJSON itself is the one sanctioned place a
+// ResponseWriter meets an encoder.
+func checkHandRolledWrites(pass *Pass) {
+	iface := respWriterIface(pass.Pkg)
+	if iface == nil {
+		return // package never imports net/http; nothing to hand-roll
+	}
+	enclosingFuncs(pass.Files, func(decl *ast.FuncDecl) {
+		if decl.Name.Name == "writeJSON" {
+			return
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			switch {
+			case funcPkgPath(fn) == "net/http" && fn.Name() == "Error":
+				pass.Reportf(call.Pos(), "http.Error writes a bare text body outside the JSON error envelope; answer through writeError so every error is {\"error\": ..., \"reason\": ...}")
+			case funcPkgPath(fn) == "encoding/json" && fn.Name() == "NewEncoder" && len(call.Args) == 1:
+				if t := pass.TypesInfo.TypeOf(call.Args[0]); t != nil && types.Implements(t, iface) {
+					pass.Reportf(call.Pos(), "json.NewEncoder over an http.ResponseWriter bypasses writeJSON; handlers must put bodies on the wire through the shared helpers")
+				}
+			}
+			return true
+		})
+	})
+}
+
+// respWriterIface resolves the net/http.ResponseWriter interface from the
+// package's imports; nil when the package never touches net/http.
+func respWriterIface(pkg *types.Package) *types.Interface {
+	if pkg == nil {
+		return nil
+	}
+	for _, imp := range pkg.Imports() {
+		if imp.Path() != "net/http" {
+			continue
+		}
+		if obj, ok := imp.Scope().Lookup("ResponseWriter").(*types.TypeName); ok {
+			if iface, ok := obj.Type().Underlying().(*types.Interface); ok {
+				return iface
+			}
 		}
 	}
 	return nil

@@ -19,8 +19,10 @@
 //     statements outside internal/parallel and cmd/.
 //   - noalloc: functions annotated //memes:noalloc must avoid constructs
 //     that force heap allocations.
-//   - jsonwire: structs serialized by internal/server and internal/cli must
-//     carry explicit snake_case json tags.
+//   - jsonwire: structs serialized by internal/server, internal/cli, and
+//     internal/declog must carry explicit snake_case json tags, and HTTP
+//     handlers must answer through the shared writeJSON/writeError helpers
+//     instead of hand-rolling http.Error or direct ResponseWriter encoders.
 //
 // Escape hatches are explicit, greppable comment directives, each carrying
 // a reason: //memes:nondet (function-level: sanctioned wall-clock/rand use),
@@ -260,6 +262,7 @@ func inCtxFlowScope(path string) bool {
 var jsonWireScopes = []string{
 	"internal/server",
 	"internal/cli",
+	"internal/declog",
 }
 
 // inJSONWireScope gates jsonwire.

@@ -3,7 +3,11 @@
 // with an explicit snake_case name; structs never serialized are exempt.
 package server
 
-import "encoding/json"
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+)
 
 type matchResponse struct {
 	ClusterID int64       `json:"cluster_id"`
@@ -34,3 +38,24 @@ func decode(data []byte) (matchResponse, error) {
 }
 
 var _ = notWire{}
+
+// Hand-rolled response writes: the envelope check fires on http.Error and
+// on encoders attached straight to a ResponseWriter, everywhere except the
+// sanctioned writeJSON helper.
+
+func handleBad(w http.ResponseWriter) {
+	http.Error(w, "boom", 500)                  // want "http.Error writes a bare text body outside the JSON error envelope"
+	json.NewEncoder(w).Encode(map[string]any{}) // want "json.NewEncoder over an http.ResponseWriter bypasses writeJSON"
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	json.NewEncoder(w).Encode(v) // ok: the one sanctioned encoder site
+}
+
+func encodeElsewhere(v matchResponse) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil { // ok: not a ResponseWriter
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

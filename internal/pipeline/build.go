@@ -41,14 +41,22 @@ type BuildResult struct {
 	// Clusters lists every cluster across the fringe communities; Clusters[i].ID == i.
 	Clusters []ClusterInfo
 
-	medoids    index.MedoidIndex    // index over annotated-cluster medoids, read-only
-	sq         index.ScratchQuerier // medoids, when it serves the zero-alloc scratch path
-	scratch    *sync.Pool           // *phash.Scratch per querying goroutine
-	buildStats RunStats             // cluster + annotate (or load) stage records
-	buildWall  time.Duration        // end-to-end wall time of Build (or LoadBuild)
-	progress   ProgressFunc         // forwarded to Result's associate stage
-	closer     func() error         // releases the mmap backing a v2 load; nil otherwise
+	medoids     index.MedoidIndex    // index over annotated-cluster medoids, read-only
+	sq          index.ScratchQuerier // medoids, when it serves the zero-alloc scratch path
+	scratch     *sync.Pool           // *phash.Scratch per querying goroutine
+	buildStats  RunStats             // cluster + annotate (or load) stage records
+	buildWall   time.Duration        // end-to-end wall time of Build (or LoadBuild)
+	progress    ProgressFunc         // forwarded to Result's associate stage
+	closer      func() error         // releases the mmap backing a v2 load; nil otherwise
+	snapVersion uint32               // MEMESNAP version loaded from; 0 for in-memory builds
 }
+
+// SnapshotVersion reports the MEMESNAP format version this BuildResult was
+// reconstituted from: 1 for the varint streaming layout, 2 for the flat
+// mmap layout, and 0 for a result built in memory rather than loaded from a
+// snapshot. Serving exposes it as a gauge so operators can tell which
+// artifact generation a replica is running.
+func (b *BuildResult) SnapshotVersion() uint32 { return b.snapVersion }
 
 // Close releases the memory mapping backing a BuildResult loaded from a v2
 // snapshot file. After Close the flat index aliases unmapped memory, so the
@@ -457,13 +465,38 @@ func (b *BuildResult) Result(ctx context.Context) (*Result, error) {
 	if b.Dataset == nil {
 		return nil, errors.New("pipeline: build has no dataset bound; load the snapshot with a dataset to materialise a Result")
 	}
+	return b.materialise(ctx, b.Dataset)
+}
+
+// ResultFor materialises a Result whose associations cover an arbitrary post
+// slice instead of the build corpus. This is the replay primitive behind
+// `memereport -replay`: posts reconstructed from a served decision log are
+// re-associated against the resident clusters, so the paper's tables
+// regenerate from real served traffic. The returned Result carries a shallow
+// copy of the build dataset with Posts swapped for the given slice; the
+// cluster inventory and per-community summaries remain the build's — the
+// artifact is fixed, only the traffic varies. A bound dataset is still
+// required: it supplies the corpus observation window (Start/End) and the
+// ground-truth tables the report renders against.
+func (b *BuildResult) ResultFor(ctx context.Context, posts []dataset.Post) (*Result, error) {
+	if b.Dataset == nil {
+		return nil, errors.New("pipeline: build has no dataset bound; replay needs the corpus window and ground-truth tables")
+	}
+	ds := *b.Dataset
+	ds.Posts = posts
+	return b.materialise(ctx, &ds)
+}
+
+// materialise runs Step 6 over ds.Posts and assembles the Result shared by
+// Result (full corpus) and ResultFor (replayed traffic).
+func (b *BuildResult) materialise(ctx context.Context, ds *dataset.Dataset) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	start := now()
 	res := &Result{
 		Config:       b.Config,
-		Dataset:      b.Dataset,
+		Dataset:      ds,
 		Site:         b.Site,
 		PerCommunity: b.PerCommunity,
 		Clusters:     b.Clusters,
@@ -473,13 +506,13 @@ func (b *BuildResult) Result(ctx context.Context) (*Result, error) {
 	em := emitter{stats: &res.Stats, progress: b.progress}
 
 	imagePosts := 0
-	for i := range b.Dataset.Posts {
-		if b.Dataset.Posts[i].HasImage {
+	for i := range ds.Posts {
+		if ds.Posts[i].HasImage {
 			imagePosts++
 		}
 	}
 	stageStart := em.start(StageAssociate)
-	assoc, err := b.Associate(ctx, b.Dataset.Posts)
+	assoc, err := b.Associate(ctx, ds.Posts)
 	if err != nil {
 		return nil, err
 	}

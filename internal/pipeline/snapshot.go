@@ -200,6 +200,7 @@ func loadBuildV1(br *bufio.Reader, site *annotate.Site, ds *dataset.Dataset, rec
 		Site:         site,
 		Dataset:      ds,
 		PerCommunity: make(map[dataset.Community]CommunityClustering),
+		snapVersion:  SnapshotV1,
 	}
 	b.Config = Config{
 		Clustering: cluster.DBSCANConfig{

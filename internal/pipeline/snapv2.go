@@ -462,6 +462,7 @@ func loadBuildV2(data []byte, site *annotate.Site, ds *dataset.Dataset, reconfig
 		Site:         site,
 		Dataset:      ds,
 		PerCommunity: make(map[dataset.Community]CommunityClustering, v.counts[v2SecCommunities]),
+		snapVersion:  SnapshotV2,
 	}
 	idxStr, err := v.str(le.Uint32(data[64:68]), le.Uint32(data[68:72]))
 	if err != nil {

@@ -16,12 +16,20 @@
 //	POST /v1/associate     {"posts":[…]}            batch Step 6 association
 //	POST /v1/match         {"hash":"…"}             single-hash lookup (micro-batched)
 //	POST /v1/match/image   raw image bytes          pHash (Step 1) + lookup
+//	POST /v1/influence     {"group":"…"}            live §5 Hawkes influence matrices
+//	GET  /v1/report                                 full memereport document over the live engine
 //	POST /v1/ingest        {"posts":[…]}            absorb new posts (streaming ingest)
 //	GET  /v1/healthz                                liveness + resident artifact shape
 //	GET  /v1/readyz                                 readiness (engine resident ∧ journal writable)
 //	GET  /v1/statsz                                 request/batch/build/ingest/overload counters
+//	GET  /v1/metrics                                Prometheus text-format exposition
 //	GET  /v1/clusters                               the annotated-cluster artifact
 //	POST /v1/admin/reload                           hot-swap a fresh snapshot
+//
+// Request/response shapes live in wire.go — the de-facto API spec. Every
+// served association and match decision can additionally be streamed to a
+// decision log (Config.DecisionLog, internal/declog) for offline replay
+// through cmd/memereport.
 //
 // Concurrent /v1/match lookups are coalesced by a micro-batcher into single
 // Engine.Associate fan-outs bounded by the engine's worker pool; see
@@ -46,6 +54,7 @@ import (
 
 	"github.com/memes-pipeline/memes"
 	"github.com/memes-pipeline/memes/internal/cli"
+	"github.com/memes-pipeline/memes/internal/declog"
 	"github.com/memes-pipeline/memes/internal/phash"
 )
 
@@ -87,6 +96,14 @@ type Config struct {
 	// RequestTimeout is the deadline applied to each query/ingest request's
 	// context; 0 means DefaultRequestTimeout, negative disables it.
 	RequestTimeout time.Duration
+	// DecisionLog, when set, receives one declog.Decision per served
+	// association and match lookup — the replayable traffic stream. The
+	// caller owns the logger's lifecycle (the server never closes it; close
+	// it after the http.Server has drained).
+	DecisionLog *declog.Logger
+	// DisableMetrics unregisters GET /v1/metrics (the latency histograms
+	// still record; only the scrape endpoint disappears).
+	DisableMetrics bool
 }
 
 // Server serves a resident engine over HTTP. Construct with New, expose
@@ -105,6 +122,14 @@ type Server struct {
 	sem        chan struct{} // admission slots; nil disables admission control
 	reqTimeout time.Duration // per-request deadline; <= 0 disables
 	closed     atomic.Bool   // Close ran; readiness is permanently false
+
+	declog    *declog.Logger // decision stream; nil disables capture
+	obs       observability  // per-endpoint latency histograms for /v1/metrics
+	noMetrics bool           // GET /v1/metrics unregistered
+
+	reportMu  sync.Mutex // guards the per-generation report cache
+	reportGen uint64
+	reportDoc *reportResponse
 }
 
 // New calls cfg.Loader once and returns a Server serving the result.
@@ -138,7 +163,10 @@ func New(cfg Config) (*Server, error) {
 		started:    time.Now(),
 		maxBody:    maxBody,
 		reqTimeout: reqTimeout,
+		declog:     cfg.DecisionLog,
+		noMetrics:  cfg.DisableMetrics,
 	}
+	s.obs.init()
 	if maxInFlight > 0 {
 		s.sem = make(chan struct{}, maxInFlight)
 	}
@@ -165,14 +193,6 @@ func (s *Server) Engine() *memes.Engine { return s.hot.Engine() }
 
 // Generation returns the hot-swap generation (1 after New, +1 per Reload).
 func (s *Server) Generation() uint64 { return s.hot.Generation() }
-
-// ReloadStatus describes one completed hot swap.
-type ReloadStatus struct {
-	Generation uint64        `json:"generation"`
-	Clusters   int           `json:"clusters"`
-	Duration   time.Duration `json:"-"`
-	LoadMS     float64       `json:"load_ms"`
-}
 
 // Reload runs the loader and atomically swaps the fresh engine in. Requests
 // in flight finish on the generation they pinned; no request is dropped or
@@ -225,20 +245,25 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/associate", s.handleAssociate)
 	mux.HandleFunc("POST /v1/match", s.handleMatch)
 	mux.HandleFunc("POST /v1/match/image", s.handleMatchImage)
+	mux.HandleFunc("POST /v1/influence", s.handleInfluence)
+	mux.HandleFunc("GET /v1/report", s.handleReport)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	mux.HandleFunc("GET /v1/statsz", s.handleStatsz)
+	if !s.noMetrics {
+		mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	}
 	mux.HandleFunc("GET /v1/clusters", s.handleClusters)
 	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	mux.HandleFunc("POST /v1/admin/reload", s.handleReload)
-	return s.withRecovery(s.withAdmission(s.withDeadline(mux)))
+	return s.withRecovery(s.withAdmission(s.withDeadline(s.withObservation(mux))))
 }
 
 // observabilityExempt reports whether the path must stay reachable on an
 // overloaded or degraded node.
 func observabilityExempt(path string) bool {
 	switch path {
-	case "/v1/healthz", "/v1/readyz", "/v1/statsz":
+	case "/v1/healthz", "/v1/readyz", "/v1/statsz", "/v1/metrics":
 		return true
 	}
 	return false
@@ -331,26 +356,10 @@ func (t *trackingWriter) Write(b []byte) (int, error) {
 
 // --- responses ---------------------------------------------------------------
 
-// Machine-readable error reasons, carried in every error response so
-// clients and load balancers can react without parsing prose.
-const (
-	reasonBadRequest      = "bad_request"
-	reasonInternal        = "internal"
-	reasonOverloaded      = "overloaded"
-	reasonDeadline        = "deadline"
-	reasonCanceled        = "canceled"
-	reasonClosed          = "closed"
-	reasonPanic           = "panic"
-	reasonPoolFull        = "pool_full"
-	reasonIngestDisabled  = "ingest_disabled"
-	reasonJournalDegraded = "journal_degraded"
-	reasonReloadFailed    = "reload_failed"
-)
-
-type errorResponse struct {
-	Error  string `json:"error"`
-	Reason string `json:"reason"`
-}
+// The wire shapes (request/response DTOs, error reasons) live in wire.go;
+// writeJSON and writeError below are the only two ways a handler puts a
+// body on the wire, so the envelope stays uniform (the jsonwire analyzer
+// enforces this).
 
 func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	if code >= 400 {
@@ -388,70 +397,11 @@ func (s *Server) writeQueryError(w http.ResponseWriter, prefix string, err error
 	}
 }
 
-type associationJSON struct {
-	PostIndex int    `json:"post_index"`
-	ClusterID int    `json:"cluster_id"`
-	Distance  int    `json:"distance"`
-	Entry     string `json:"entry,omitempty"`
-}
-
-type associateResponse struct {
-	Posts        int               `json:"posts"`
-	Matched      int               `json:"matched"`
-	Generation   uint64            `json:"generation"`
-	Associations []associationJSON `json:"associations"`
-}
-
-type matchResponse struct {
-	Matched    bool   `json:"matched"`
-	ClusterID  int    `json:"cluster_id"`
-	Distance   int    `json:"distance"`
-	Entry      string `json:"entry,omitempty"`
-	Community  string `json:"community,omitempty"`
-	Hash       string `json:"hash"`
-	Generation uint64 `json:"generation"`
-}
-
-type ingestResponse struct {
-	Accepted   int    `json:"accepted"`
-	Assigned   int    `json:"assigned"`
-	Pending    int    `json:"pending"`
-	Triggered  bool   `json:"triggered"`
-	Seq        uint64 `json:"seq"`
-	Generation uint64 `json:"generation"`
-}
-
-type healthResponse struct {
-	Status            string `json:"status"`
-	Generation        uint64 `json:"generation"`
-	Clusters          int    `json:"clusters"`
-	AnnotatedClusters int    `json:"annotated_clusters"`
-}
-
-type clusterJSON struct {
-	ID             int    `json:"id"`
-	Community      string `json:"community"`
-	Entry          string `json:"entry,omitempty"`
-	Images         int    `json:"images"`
-	DistinctHashes int    `json:"distinct_hashes"`
-	MedoidHash     string `json:"medoid_hash"`
-	Annotated      bool   `json:"annotated"`
-	Racist         bool   `json:"racist,omitempty"`
-	Political      bool   `json:"political,omitempty"`
-}
-
-type clustersResponse struct {
-	Generation uint64        `json:"generation"`
-	Clusters   []clusterJSON `json:"clusters"`
-}
-
 // --- handlers ----------------------------------------------------------------
 
 func (s *Server) handleAssociate(w http.ResponseWriter, r *http.Request) {
 	s.stats.associateRequests.Add(1)
-	var req struct {
-		Posts []memes.Post `json:"posts"`
-	}
+	var req associateRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(&req); err != nil {
 		s.writeError(w, http.StatusBadRequest, reasonBadRequest, "decoding request: "+err.Error())
 		return
@@ -464,6 +414,7 @@ func (s *Server) handleAssociate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.stats.associatedPosts.Add(int64(len(req.Posts)))
 	s.stats.associations.Add(int64(len(assocs)))
+	s.logAssociateDecisions(gen, eng, req.Posts, assocs)
 	resp := associateResponse{
 		Posts:        len(req.Posts),
 		Matched:      len(assocs),
@@ -484,9 +435,7 @@ func (s *Server) handleAssociate(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	s.stats.matchRequests.Add(1)
-	var req struct {
-		Hash json.RawMessage `json:"hash"`
-	}
+	var req matchRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(&req); err != nil {
 		s.writeError(w, http.StatusBadRequest, reasonBadRequest, "decoding request: "+err.Error())
 		return
@@ -540,6 +489,7 @@ func (s *Server) answerMatch(w http.ResponseWriter, r *http.Request, h memes.Has
 	} else {
 		s.stats.missed.Add(1)
 	}
+	s.logMatchDecision(h, resp)
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
@@ -553,9 +503,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusServiceUnavailable, reasonIngestDisabled, "ingest disabled: start the server with an ingest configuration")
 		return
 	}
-	var req struct {
-		Posts []memes.Post `json:"posts"`
-	}
+	var req ingestRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(&req); err != nil {
 		s.writeError(w, http.StatusBadRequest, reasonBadRequest, "decoding request: "+err.Error())
 		return
@@ -584,12 +532,6 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		Seq:        rec.Seq,
 		Generation: s.hot.Generation(),
 	})
-}
-
-type readyResponse struct {
-	Ready      bool   `json:"ready"`
-	Reason     string `json:"reason,omitempty"`
-	Generation uint64 `json:"generation"`
 }
 
 // handleReadyz answers readiness, as distinct from handleHealthz's liveness:
@@ -638,6 +580,9 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			MatchImage: s.stats.matchImageRequests.Load(),
 			Ingest:     s.stats.ingestRequests.Load(),
 			Reload:     s.stats.reloadRequests.Load(),
+			Influence:  s.stats.influenceRequests.Load(),
+			Report:     s.stats.reportRequests.Load(),
+			Metrics:    s.stats.metricsRequests.Load(),
 			Errors:     s.stats.errors.Load(),
 		},
 		Match: MatchStats{
@@ -662,6 +607,18 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			MaxInFlight: cap(s.sem),
 		},
 		BuildStats: cli.StatsDoc(eng.BuildStats()),
+	}
+	if s.declog != nil {
+		st := s.declog.Stats()
+		doc.DecisionLog = DecLogStats{
+			Enabled:       true,
+			Logged:        st.Logged,
+			Dropped:       st.Dropped,
+			Batches:       st.Batches,
+			Flushed:       st.Flushed,
+			FlushFailures: st.FlushFailures,
+			Buffered:      st.Buffered,
+		}
 	}
 	if s.ingestor != nil {
 		st := s.ingestor.Stats()

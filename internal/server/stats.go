@@ -2,8 +2,6 @@ package server
 
 import (
 	"sync/atomic"
-
-	"github.com/memes-pipeline/memes/internal/cli"
 )
 
 // counters is the server's always-on operational accounting, maintained with
@@ -17,6 +15,9 @@ type counters struct {
 	matchImageRequests atomic.Int64
 	ingestRequests     atomic.Int64
 	reloadRequests     atomic.Int64
+	influenceRequests  atomic.Int64
+	reportRequests     atomic.Int64
+	metricsRequests    atomic.Int64
 
 	errors atomic.Int64 // requests answered with a non-2xx status
 
@@ -49,84 +50,5 @@ func (c *counters) observeBatch(n int) {
 	}
 }
 
-// StatsDoc is the /v1/statsz response: request counters, micro-batcher
-// shape, hot-swap state, and the resident engine's build-phase RunStats.
-type StatsDoc struct {
-	UptimeMS          float64       `json:"uptime_ms"`
-	Generation        uint64        `json:"generation"`
-	LoadedAt          string        `json:"loaded_at"`
-	Clusters          int           `json:"clusters"`
-	AnnotatedClusters int           `json:"annotated_clusters"`
-	Reloads           int64         `json:"reloads"`
-	Degraded          bool          `json:"degraded"`
-	Requests          RequestStats  `json:"requests"`
-	Match             MatchStats    `json:"match"`
-	Associate         AssocStats    `json:"associate"`
-	Batcher           BatcherStats  `json:"batcher"`
-	Overload          OverloadStats `json:"overload"`
-	Ingest            IngestStats   `json:"ingest"`
-	BuildStats        cli.StatsJSON `json:"build_stats"`
-}
-
-// OverloadStats surfaces the server's self-protection counters: admission
-// sheds, deadline expiries, contained panics, and the live in-flight level
-// against its bound.
-type OverloadStats struct {
-	Shed        int64 `json:"shed"`
-	Timeouts    int64 `json:"timeouts"`
-	Panics      int64 `json:"panics"`
-	InFlight    int   `json:"in_flight"`
-	MaxInFlight int   `json:"max_in_flight"`
-}
-
-// RequestStats counts requests per endpoint plus total error responses.
-type RequestStats struct {
-	Associate  int64 `json:"associate"`
-	Match      int64 `json:"match"`
-	MatchImage int64 `json:"match_image"`
-	Ingest     int64 `json:"ingest"`
-	Reload     int64 `json:"reload"`
-	Errors     int64 `json:"errors"`
-}
-
-// MatchStats counts single-hash lookup outcomes across /v1/match and
-// /v1/match/image.
-type MatchStats struct {
-	Matched int64 `json:"matched"`
-	Missed  int64 `json:"missed"`
-}
-
-// AssocStats counts /v1/associate volume.
-type AssocStats struct {
-	Posts        int64 `json:"posts"`
-	Associations int64 `json:"associations"`
-}
-
-// BatcherStats describes the micro-batcher's coalescing behaviour: how many
-// Associate fan-outs served how many /v1/match lookups.
-type BatcherStats struct {
-	Batches         int64 `json:"batches"`
-	BatchedRequests int64 `json:"batched_requests"`
-	LargestBatch    int64 `json:"largest_batch"`
-	MaxBatch        int   `json:"max_batch"`
-}
-
-// IngestStats renders the streaming-ingest subsystem's counters. Enabled is
-// false (and everything else zero) when the server runs without an Ingestor.
-type IngestStats struct {
-	Enabled           bool   `json:"enabled"`
-	Ingested          int64  `json:"ingested"`
-	Assigned          int64  `json:"assigned"`
-	Rejected          int64  `json:"rejected"`
-	Pending           int    `json:"pending"`
-	Pool              int    `json:"pool"`
-	Reclusters        int64  `json:"reclusters"`
-	ReclusterFailures int64  `json:"recluster_failures"`
-	Compactions       int64  `json:"compactions"`
-	DeltaSegments     int    `json:"delta_segments"`
-	Seq               uint64 `json:"seq"`
-	JournalRetries    int64  `json:"journal_retries"`
-	JournalFailures   int64  `json:"journal_failures"`
-	TornTails         int64  `json:"torn_tails"`
-	Degraded          bool   `json:"degraded"`
-}
+// The /v1/statsz document types (StatsDoc and its sub-structs) live in
+// wire.go with the rest of the API's wire shapes.
